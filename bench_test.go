@@ -1,0 +1,221 @@
+// This file is the benchmark harness that regenerates every table and
+// figure of the FedZKT paper (one Benchmark per artefact, at smoke scale
+// so the full suite completes in minutes on one core) plus
+// micro-benchmarks of the numeric substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the recorded default-scale results, see EXPERIMENTS.md and the
+// cmd/fedzkt CLI.
+package fedzkt_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/experiments"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// smoke returns the standard smoke-scale parameters with a per-iteration
+// seed so repeated bench iterations are independent runs.
+func smoke(i int) experiments.Params {
+	p := experiments.ParamsFor(experiments.ScaleSmoke)
+	p.Seed = uint64(i + 1)
+	return p
+}
+
+// lite further trims the smoke scale for the sweep experiments whose cell
+// counts multiply (Figure 4 runs 32 federations).
+func lite(i int) experiments.Params {
+	p := smoke(i)
+	p.TrainPerClass = 8
+	p.TestPerClass = 4
+	p.Devices = 2
+	p.Rounds = 1
+	p.RoundsCIFAR = 1
+	p.DistillIters = 4
+	return p
+}
+
+// parsePct converts "78.02%" to 78.02 for ReportMetric.
+func parsePct(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func reportLastColumn(b *testing.B, t *experiments.Table, metric string) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(parsePct(last[len(last)-1]), metric)
+}
+
+func BenchmarkTable1IIDAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(smoke(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastColumn(b, res.Tables[0], "fedzkt-acc-%")
+	}
+}
+
+func BenchmarkFig2GradientNorms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(smoke(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the final-round SL gradient norm (the paper's stable
+		// middle curve).
+		s := res.Figures[0].Series[0]
+		b.ReportMetric(s.Y[len(s.Y)-1], "sl-gradnorm")
+	}
+}
+
+func BenchmarkFig3LearningCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(smoke(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := res.Figures[0]
+		b.ReportMetric(100*f.Series[0].Y[len(f.Series[0].Y)-1], "fedzkt-acc-%")
+	}
+}
+
+func BenchmarkFig4NonIID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2LossAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(lite(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastColumn(b, res.Tables[0], "sl-acc-%")
+	}
+}
+
+func BenchmarkFig5Heterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Bounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(lite(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastColumn(b, res.Tables[0], "lower-acc-%")
+	}
+}
+
+func BenchmarkFig6Stragglers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4L2Reg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(lite(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastColumn(b, res.Tables[0], "l2-acc-%")
+	}
+}
+
+func BenchmarkFig7DeviceCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CommBytes(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGeneratorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeneratorSweep(lite(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRand(1)
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	tensor.FillNormal(x, 0, 1, rng)
+	tensor.FillNormal(y, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkConv2dForwardBackward(b *testing.B) {
+	rng := tensor.NewRand(2)
+	xT := tensor.New(16, 8, 16, 16)
+	wT := tensor.New(16, 8, 3, 3)
+	tensor.FillNormal(xT, 0, 1, rng)
+	tensor.FillNormal(wT, 0, 0.1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := ag.Param(xT)
+		w := ag.Param(wT)
+		y := ag.Conv2d(x, w, nil, 1, 1)
+		ag.Backward(ag.MeanAll(ag.Mul(y, y)))
+	}
+}
+
+func BenchmarkGeneratorForward(b *testing.B) {
+	g := model.NewGenerator(32, model.Shape{C: 3, H: 16, W: 16}, tensor.NewRand(3))
+	rng := tensor.NewRand(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Generate(32, rng)
+	}
+}
+
+func BenchmarkGlobalModelForward(b *testing.B) {
+	m := model.MustBuild("global", model.Shape{C: 3, H: 16, W: 16}, 10, tensor.NewRand(5))
+	m.SetTraining(false)
+	xT := tensor.New(32, 3, 16, 16)
+	tensor.FillNormal(xT, 0, 1, tensor.NewRand(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Forward(ag.Const(xT))
+	}
+}

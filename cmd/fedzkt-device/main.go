@@ -1,0 +1,67 @@
+// Command fedzkt-device runs one FedZKT device over TCP: it picks its own
+// on-device architecture (the core freedom FedZKT grants), connects to the
+// server, trains locally on its assigned private shard each round, and
+// absorbs the distilled parameters the server sends back.
+//
+// Usage:
+//
+//	fedzkt-device -addr 127.0.0.1:7700 -arch lenet-s
+//
+// The architecture can be any of the registered models (see -list-archs),
+// independent of what other devices choose.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedzkt-device:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedzkt-device", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7700", "server TCP address")
+		arch      = fs.String("arch", "cnn", "on-device model architecture")
+		listArchs = fs.Bool("list-archs", false, "list available architectures and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listArchs {
+		for _, name := range model.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("connecting to %s as %q...\n", *addr, *arch)
+	m, ds, err := transport.RunDevice(ctx, transport.DeviceConfig{
+		Addr: *addr,
+		Arch: *arch,
+		Progress: func(round int, loss float64) {
+			fmt.Printf("round %2d: local training loss %.4f\n", round, loss)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done; final on-device test accuracy: %.4f\n", fed.Evaluate(m, ds, 64))
+	return nil
+}

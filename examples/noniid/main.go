@@ -1,0 +1,59 @@
+// Non-IID: label-skewed on-device data (Dirichlet β=0.3), with and
+// without the ℓ2 proximal regularisation of Eq. 9 — the paper's Table IV
+// ablation in miniature. Each device sees a heavily imbalanced slice of
+// the classes; the proximal term keeps local training from drifting away
+// from the server-distilled parameters.
+//
+//	go run ./examples/noniid
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/fedzkt/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/data"
+)
+
+func main() {
+	ds := data.SynthMNIST(fedzkt.Sizes{TrainPerClass: 30, TestPerClass: 10}, 11)
+	const k = 5
+	shards := fedzkt.PartitionDirichlet(ds.TrainY, ds.Classes, k, 0.3, 11)
+
+	fmt.Println("per-device label distribution under Dirichlet(0.3):")
+	for i, shard := range shards {
+		counts := make([]int, ds.Classes)
+		for _, idx := range shard {
+			counts[ds.TrainY[idx]]++
+		}
+		fmt.Printf("device %d (%3d samples): %v\n", i+1, len(shard), counts)
+	}
+
+	run := func(mu float64) fedzkt.History {
+		co, err := fedzkt.New(fedzkt.Config{
+			Rounds: 4, LocalEpochs: 2, DistillIters: 10, StudentSteps: 2,
+			DistillBatch: 16, BatchSize: 16,
+			DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9,
+			ProxMu: mu, Seed: 11,
+		}, ds, fedzkt.SmallZoo(), shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist, err := co.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return hist
+	}
+
+	fmt.Println("\ntraining without regularisation...")
+	plain := run(0)
+	fmt.Println("training with ℓ2 regularisation (μ=0.1)...")
+	prox := run(0.1)
+
+	fmt.Println("\nround | no reg | ℓ2 reg   (global model accuracy)")
+	for i := range plain {
+		fmt.Printf("%5d | %.4f | %.4f\n", plain[i].Round, plain[i].GlobalAcc, prox[i].GlobalAcc)
+	}
+}

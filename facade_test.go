@@ -1,0 +1,75 @@
+package fedzkt_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fedzkt/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/data"
+)
+
+// TestFacadeEndToEnd exercises the public API surface exactly as the
+// README shows it: build data, partition, federate, evaluate.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := data.MustMake(fedzkt.DataConfig{
+		Name: "facade", Family: data.FamilyDigits, Classes: 4,
+		C: 1, H: 8, W: 8, TrainPerClass: 20, TestPerClass: 8, Seed: 3,
+	})
+	shards := fedzkt.PartitionIID(ds.NumTrain(), 3, 3)
+	co, err := fedzkt.New(fedzkt.Config{
+		Rounds: 2, LocalEpochs: 1, DistillIters: 4, StudentSteps: 1,
+		DistillBatch: 8, BatchSize: 8, ZDim: 8,
+		DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9, Seed: 3,
+	}, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history len %d", len(hist))
+	}
+	for _, d := range co.Devices() {
+		if acc := fedzkt.Evaluate(d, ds); acc < 0 || acc > 1 {
+			t.Fatalf("device accuracy %v", acc)
+		}
+	}
+}
+
+func TestFacadePartitioners(t *testing.T) {
+	labels := make([]int, 100)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	iid := fedzkt.PartitionIID(100, 4, 1)
+	if len(iid) != 4 {
+		t.Fatalf("iid shards: %d", len(iid))
+	}
+	qs := fedzkt.PartitionQuantitySkew(labels, 5, 4, 2, 1)
+	if len(qs) != 4 {
+		t.Fatalf("quantity shards: %d", len(qs))
+	}
+	dir := fedzkt.PartitionDirichlet(labels, 5, 4, 0.5, 1)
+	if len(dir) != 4 {
+		t.Fatalf("dirichlet shards: %d", len(dir))
+	}
+}
+
+func TestFacadeZoosAndLosses(t *testing.T) {
+	if len(fedzkt.SmallZoo()) != 5 || len(fedzkt.CIFARZoo()) != 5 {
+		t.Fatal("zoos must expose five architectures each")
+	}
+	if len(fedzkt.Architectures()) < 8 {
+		t.Fatal("architecture registry too small")
+	}
+	for _, s := range []string{"sl", "kl", "l1"} {
+		if _, err := fedzkt.ParseLoss(s); err != nil {
+			t.Fatalf("ParseLoss(%q): %v", s, err)
+		}
+	}
+	if fedzkt.LossSL == fedzkt.LossKL {
+		t.Fatal("loss kinds must be distinct")
+	}
+}

@@ -1,0 +1,223 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(x *Variable) *Variable {
+	out := tensor.Apply(x.value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	return unaryGated(x, out, func(v float64) bool { return v > 0 })
+}
+
+// ReLU6 returns min(max(x,0),6), the activation used by MobileNetV2.
+func ReLU6(x *Variable) *Variable {
+	out := tensor.Apply(x.value, func(v float64) float64 {
+		if v <= 0 {
+			return 0
+		}
+		if v >= 6 {
+			return 6
+		}
+		return v
+	})
+	return unaryGated(x, out, func(v float64) bool { return v > 0 && v < 6 })
+}
+
+// unaryGated builds a node whose backward passes gradients only where
+// pass(x) is true — the shared pattern of ReLU-family activations.
+func unaryGated(x *Variable, out *tensor.Tensor, pass func(float64) bool) *Variable {
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(x.value.Shape()...)
+		xd, gd, dd := x.value.Data(), g.Data(), dx.Data()
+		for i, v := range xd {
+			if pass(v) {
+				dd[i] = gd[i]
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// LeakyReLU returns x where x>0 and alpha*x elsewhere.
+func LeakyReLU(x *Variable, alpha float64) *Variable {
+	out := tensor.Apply(x.value, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return alpha * v
+	})
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(x.value.Shape()...)
+		xd, gd, dd := x.value.Data(), g.Data(), dx.Data()
+		for i, v := range xd {
+			if v > 0 {
+				dd[i] = gd[i]
+			} else {
+				dd[i] = alpha * gd[i]
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(x *Variable) *Variable {
+	out := tensor.Apply(x.value, math.Tanh)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(x.value.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), dx.Data()
+		for i, y := range od {
+			dd[i] = gd[i] * (1 - y*y)
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise.
+func Sigmoid(x *Variable) *Variable {
+	out := tensor.Apply(x.value, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(x.value.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), dx.Data()
+		for i, y := range od {
+			dd[i] = gd[i] * y * (1 - y)
+		}
+		x.accum(dx)
+	}, x)
+}
+
+func check2d(x *Variable, what string) (n, d int) {
+	if x.value.Dims() != 2 {
+		panic(fmt.Sprintf("ag: %s wants (N×D) input, got %v", what, x.Shape()))
+	}
+	return x.value.Dim(0), x.value.Dim(1)
+}
+
+// Softmax applies the softmax function to each row of a (N×D) Variable.
+func Softmax(x *Variable) *Variable {
+	n, d := check2d(x, "Softmax")
+	out := tensor.New(n, d)
+	softmaxRowsInto(out.Data(), x.value.Data(), n, d)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, d)
+		od, gd, dd := out.Data(), g.Data(), dx.Data()
+		for r := 0; r < n; r++ {
+			orow := od[r*d : (r+1)*d]
+			grow := gd[r*d : (r+1)*d]
+			drow := dd[r*d : (r+1)*d]
+			dot := 0.0
+			for c, y := range orow {
+				dot += y * grow[c]
+			}
+			for c, y := range orow {
+				drow[c] = y * (grow[c] - dot)
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// LogSoftmax applies log∘softmax to each row of a (N×D) Variable using the
+// numerically stable shifted formulation.
+func LogSoftmax(x *Variable) *Variable {
+	n, d := check2d(x, "LogSoftmax")
+	out := tensor.New(n, d)
+	xd, od := x.value.Data(), out.Data()
+	for r := 0; r < n; r++ {
+		row := xd[r*d : (r+1)*d]
+		orow := od[r*d : (r+1)*d]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		lse := 0.0
+		for _, v := range row {
+			lse += math.Exp(v - m)
+		}
+		lse = m + math.Log(lse)
+		for c, v := range row {
+			orow[c] = v - lse
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, d)
+		od, gd, dd := out.Data(), g.Data(), dx.Data()
+		for r := 0; r < n; r++ {
+			orow := od[r*d : (r+1)*d]
+			grow := gd[r*d : (r+1)*d]
+			drow := dd[r*d : (r+1)*d]
+			gsum := 0.0
+			for _, gv := range grow {
+				gsum += gv
+			}
+			for c, lp := range orow {
+				drow[c] = grow[c] - math.Exp(lp)*gsum
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// softmaxRowsInto writes softmax of each row of src (n rows of d) into dst.
+func softmaxRowsInto(dst, src []float64, n, d int) {
+	for r := 0; r < n; r++ {
+		row := src[r*d : (r+1)*d]
+		orow := dst[r*d : (r+1)*d]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for c, v := range row {
+			e := math.Exp(v - m)
+			orow[c] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for c := range orow {
+			orow[c] *= inv
+		}
+	}
+}
+
+// SoftmaxRows is the no-tape convenience used at evaluation time.
+func SoftmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("ag: SoftmaxRows wants (N×D), got %v", t.Shape()))
+	}
+	n, d := t.Dim(0), t.Dim(1)
+	out := tensor.New(n, d)
+	softmaxRowsInto(out.Data(), t.Data(), n, d)
+	return out
+}

@@ -1,0 +1,174 @@
+// Package ag implements a define-by-run reverse-mode automatic
+// differentiation engine over package tensor.
+//
+// A Variable wraps a tensor value and, when gradients are required,
+// participates in a dynamically built computation tape. Calling Backward on
+// a scalar Variable walks the tape in reverse topological order and
+// accumulates gradients into every reachable Variable whose RequiresGrad
+// flag is set — including *input* Variables, which FedZKT's adversarial
+// generator update and the paper's Figure 2 (gradient norms w.r.t. input
+// data) depend on.
+//
+// Graph pruning: an operation only records parents and a backward closure
+// if at least one operand requires a gradient, so inference-mode forward
+// passes over constant inputs build no graph at all. Frozen parameters
+// (RequiresGrad=false), such as teacher models during server-side
+// distillation, are skipped during accumulation, while gradients still flow
+// through them to upstream inputs.
+package ag
+
+import (
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Variable is a node in the autodiff tape: a tensor value plus an optional
+// gradient and backward closure.
+type Variable struct {
+	value        *tensor.Tensor
+	grad         *tensor.Tensor
+	requiresGrad bool
+	parents      []*Variable
+	// back propagates the node's accumulated output gradient to the
+	// parents. nil for leaves and for nodes created in no-grad contexts.
+	back func(g *tensor.Tensor)
+}
+
+// NewVar wraps t in a Variable. If requiresGrad is true, gradients will be
+// accumulated for it during Backward.
+func NewVar(t *tensor.Tensor, requiresGrad bool) *Variable {
+	return &Variable{value: t, requiresGrad: requiresGrad}
+}
+
+// Param wraps t as a trainable leaf (RequiresGrad=true).
+func Param(t *tensor.Tensor) *Variable { return NewVar(t, true) }
+
+// Const wraps t as a constant leaf (RequiresGrad=false).
+func Const(t *tensor.Tensor) *Variable { return NewVar(t, false) }
+
+// Value returns the underlying tensor (shared, not copied).
+func (v *Variable) Value() *tensor.Tensor { return v.value }
+
+// Grad returns the accumulated gradient, or nil if none has been computed.
+func (v *Variable) Grad() *tensor.Tensor { return v.grad }
+
+// RequiresGrad reports whether gradients are accumulated for v.
+func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
+
+// SetRequiresGrad toggles gradient accumulation for a leaf. Used to freeze
+// teacher models during server-side distillation. It must only be called
+// on leaves (Variables with no recorded parents).
+func (v *Variable) SetRequiresGrad(r bool) {
+	if len(v.parents) != 0 {
+		panic("ag: SetRequiresGrad on a non-leaf Variable")
+	}
+	v.requiresGrad = r
+}
+
+// ZeroGrad clears the accumulated gradient in place (keeping the buffer if
+// one was allocated).
+func (v *Variable) ZeroGrad() {
+	if v.grad != nil {
+		v.grad.Zero()
+	}
+}
+
+// Detach returns a new constant leaf sharing v's value but cut off from
+// the tape: gradients do not flow through the result.
+func (v *Variable) Detach() *Variable { return Const(v.value) }
+
+// Shape returns the shape of the value tensor.
+func (v *Variable) Shape() []int { return v.value.Shape() }
+
+// mustGrad lazily allocates and returns the gradient buffer.
+func (v *Variable) mustGrad() *tensor.Tensor {
+	if v.grad == nil {
+		v.grad = tensor.New(v.value.Shape()...)
+	}
+	return v.grad
+}
+
+// accum adds g into v's gradient if v participates in differentiation.
+func (v *Variable) accum(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	tensor.AddInto(v.mustGrad(), g)
+}
+
+// anyRequires reports whether any of the operands require gradients.
+func anyRequires(vs ...*Variable) bool {
+	for _, v := range vs {
+		if v != nil && v.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+// newNode constructs an interior tape node. If no parent requires a
+// gradient the node is a plain constant and records nothing.
+func newNode(val *tensor.Tensor, back func(g *tensor.Tensor), parents ...*Variable) *Variable {
+	if !anyRequires(parents...) {
+		return Const(val)
+	}
+	kept := make([]*Variable, 0, len(parents))
+	for _, p := range parents {
+		if p != nil {
+			kept = append(kept, p)
+		}
+	}
+	return &Variable{value: val, requiresGrad: true, parents: kept, back: back}
+}
+
+// Backward runs reverse-mode differentiation from the scalar root,
+// accumulating gradients into every reachable Variable with
+// RequiresGrad=true. The root must hold exactly one element.
+func Backward(root *Variable) {
+	if root.value.Len() != 1 {
+		panic(fmt.Sprintf("ag: Backward root must be scalar, has %d elements", root.value.Len()))
+	}
+	if !root.requiresGrad {
+		return // nothing on the tape
+	}
+	order := topoOrder(root)
+	seed := tensor.New(root.value.Shape()...)
+	seed.Fill(1)
+	root.accum(seed)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil && n.grad != nil {
+			n.back(n.grad)
+		}
+	}
+}
+
+// topoOrder returns the nodes reachable from root that require gradients,
+// in topological order (parents before children). Iterative DFS so deep
+// networks cannot overflow the goroutine stack.
+func topoOrder(root *Variable) []*Variable {
+	type frame struct {
+		node *Variable
+		next int
+	}
+	var order []*Variable
+	visited := make(map[*Variable]bool)
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{node: p})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}

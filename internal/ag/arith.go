@@ -1,0 +1,110 @@
+package ag
+
+import (
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Add returns a + b (same shape).
+func Add(a, b *Variable) *Variable {
+	out := tensor.Add(a.value, b.value)
+	return newNode(out, func(g *tensor.Tensor) {
+		a.accum(g)
+		b.accum(g)
+	}, a, b)
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Variable) *Variable {
+	out := tensor.Sub(a.value, b.value)
+	return newNode(out, func(g *tensor.Tensor) {
+		a.accum(g)
+		if b.requiresGrad {
+			b.accum(tensor.Scale(-1, g))
+		}
+	}, a, b)
+}
+
+// Mul returns the elementwise product a ⊙ b (same shape).
+func Mul(a, b *Variable) *Variable {
+	out := tensor.Mul(a.value, b.value)
+	return newNode(out, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accum(tensor.Mul(g, b.value))
+		}
+		if b.requiresGrad {
+			b.accum(tensor.Mul(g, a.value))
+		}
+	}, a, b)
+}
+
+// Scale returns s * a for a scalar constant s.
+func Scale(s float64, a *Variable) *Variable {
+	out := tensor.Scale(s, a.value)
+	return newNode(out, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accum(tensor.Scale(s, g))
+		}
+	}, a)
+}
+
+// Abs returns |a| elementwise, with the subgradient sign(a) (0 at 0).
+func Abs(a *Variable) *Variable {
+	out := tensor.Apply(a.value, math.Abs)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !a.requiresGrad {
+			return
+		}
+		da := tensor.New(a.value.Shape()...)
+		av, gd, dd := a.value.Data(), g.Data(), da.Data()
+		for i, v := range av {
+			switch {
+			case v > 0:
+				dd[i] = gd[i]
+			case v < 0:
+				dd[i] = -gd[i]
+			}
+		}
+		a.accum(da)
+	}, a)
+}
+
+// SumAll reduces a to a scalar containing the sum of all elements.
+func SumAll(a *Variable) *Variable {
+	out := tensor.FromSlice([]float64{tensor.Sum(a.value)}, 1)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !a.requiresGrad {
+			return
+		}
+		da := tensor.Full(g.Data()[0], a.value.Shape()...)
+		a.accum(da)
+	}, a)
+}
+
+// MeanAll reduces a to a scalar containing the arithmetic mean.
+func MeanAll(a *Variable) *Variable {
+	return Scale(1/float64(a.value.Len()), SumAll(a))
+}
+
+// SumSquares returns a scalar with Σ aᵢ², the building block of ℓ2
+// regularization terms.
+func SumSquares(a *Variable) *Variable {
+	s := 0.0
+	for _, v := range a.value.Data() {
+		s += v * v
+	}
+	out := tensor.FromSlice([]float64{s}, 1)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !a.requiresGrad {
+			return
+		}
+		a.accum(tensor.Scale(2*g.Data()[0], a.value))
+	}, a)
+}
+
+// AddWeighted returns a + alpha*b for scalar Variables or same-shape
+// tensors; used to combine loss terms.
+func AddWeighted(a *Variable, alpha float64, b *Variable) *Variable {
+	return Add(a, Scale(alpha, b))
+}

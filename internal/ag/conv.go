@@ -1,0 +1,229 @@
+package ag
+
+import (
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Conv2d applies a 2-D cross-correlation. x is (N,C,H,W), w is
+// (O,C,kh,kw), bias is (O) and may be nil. The whole batch is lowered into
+// a single (C·kh·kw)×(N·oh·ow) column matrix so that forward and backward
+// are each one large matrix multiplication — the dominant kernel on a
+// single core — instead of N small ones.
+func Conv2d(x, w, bias *Variable, stride, pad int) *Variable {
+	xs, ws := x.value.Shape(), w.value.Shape()
+	if len(xs) != 4 || len(ws) != 4 || xs[1] != ws[1] {
+		panic(fmt.Sprintf("ag: Conv2d shape mismatch: x %v, w %v", xs, ws))
+	}
+	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
+	o, kh, kw := ws[0], ws[2], ws[3]
+	oh := tensor.ConvOutSize(h, kh, stride, pad)
+	ow := tensor.ConvOutSize(wd, kw, stride, pad)
+	ckk := c * kh * kw
+	sp := oh * ow
+	nsp := n * sp
+
+	wmat := w.value.Reshape(o, ckk)
+	xd := x.value.Data()
+
+	buildCol := func() *tensor.Tensor {
+		col := tensor.New(ckk, nsp)
+		cd := col.Data()
+		buf := make([]float64, ckk*sp)
+		for s := 0; s < n; s++ {
+			tensor.Im2Col(xd[s*c*h*wd:(s+1)*c*h*wd], c, h, wd, kh, kw, stride, pad, buf)
+			for r := 0; r < ckk; r++ {
+				copy(cd[r*nsp+s*sp:r*nsp+(s+1)*sp], buf[r*sp:(r+1)*sp])
+			}
+		}
+		return col
+	}
+
+	col := buildCol()
+	y := tensor.MatMul(wmat, col) // (o × nsp)
+	out := tensor.New(n, o, oh, ow)
+	od, yd := out.Data(), y.Data()
+	var bd []float64
+	if bias != nil {
+		bd = bias.value.Data()
+	}
+	for oc := 0; oc < o; oc++ {
+		b := 0.0
+		if bd != nil {
+			b = bd[oc]
+		}
+		for s := 0; s < n; s++ {
+			src := yd[oc*nsp+s*sp : oc*nsp+(s+1)*sp]
+			dst := od[(s*o+oc)*sp : (s*o+oc+1)*sp]
+			if b == 0 {
+				copy(dst, src)
+				continue
+			}
+			for i, v := range src {
+				dst[i] = v + b
+			}
+		}
+	}
+
+	return newNode(out, func(g *tensor.Tensor) {
+		gd := g.Data()
+		// Gather the output gradient into the (o × nsp) layout.
+		gy := tensor.New(o, nsp)
+		gyd := gy.Data()
+		for oc := 0; oc < o; oc++ {
+			for s := 0; s < n; s++ {
+				copy(gyd[oc*nsp+s*sp:oc*nsp+(s+1)*sp], gd[(s*o+oc)*sp:(s*o+oc+1)*sp])
+			}
+		}
+		if w.requiresGrad {
+			// dW = gY · colᵀ; the column matrix is recomputed instead of
+			// retained to bound tape memory at large batch sizes.
+			dw := tensor.MatMulTransB(gy, buildCol())
+			w.accum(dw.Reshape(o, c, kh, kw))
+		}
+		if x.requiresGrad {
+			// dCol = Wᵀ · gY, scattered back per sample.
+			dcol := tensor.MatMulTransA(wmat, gy)
+			dcd := dcol.Data()
+			dx := tensor.New(n, c, h, wd)
+			dxd := dx.Data()
+			buf := make([]float64, ckk*sp)
+			for s := 0; s < n; s++ {
+				for r := 0; r < ckk; r++ {
+					copy(buf[r*sp:(r+1)*sp], dcd[r*nsp+s*sp:r*nsp+(s+1)*sp])
+				}
+				tensor.Col2Im(buf, c, h, wd, kh, kw, stride, pad, dxd[s*c*h*wd:(s+1)*c*h*wd])
+			}
+			x.accum(dx)
+		}
+		if bias != nil && bias.requiresGrad {
+			db := tensor.New(o)
+			dbd := db.Data()
+			for oc := 0; oc < o; oc++ {
+				sum := 0.0
+				for _, v := range gyd[oc*nsp : (oc+1)*nsp] {
+					sum += v
+				}
+				dbd[oc] = sum
+			}
+			bias.accum(db)
+		}
+	}, x, w, bias)
+}
+
+// DepthwiseConv2d applies one kh×kw filter per input channel (groups ==
+// channels). x is (N,C,H,W), w is (C,kh,kw), bias is (C) and may be nil.
+func DepthwiseConv2d(x, w, bias *Variable, stride, pad int) *Variable {
+	xs, ws := x.value.Shape(), w.value.Shape()
+	if len(xs) != 4 || len(ws) != 3 || xs[1] != ws[0] {
+		panic(fmt.Sprintf("ag: DepthwiseConv2d shape mismatch: x %v, w %v", xs, ws))
+	}
+	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
+	kh, kw := ws[1], ws[2]
+	oh := tensor.ConvOutSize(h, kh, stride, pad)
+	ow := tensor.ConvOutSize(wd, kw, stride, pad)
+
+	out := tensor.New(n, c, oh, ow)
+	xd, wdat, od := x.value.Data(), w.value.Data(), out.Data()
+	var bd []float64
+	if bias != nil {
+		bd = bias.value.Data()
+	}
+
+	for sc := 0; sc < n*c; sc++ {
+		ch := sc % c
+		src := xd[sc*h*wd : (sc+1)*h*wd]
+		dst := od[sc*oh*ow : (sc+1)*oh*ow]
+		ker := wdat[ch*kh*kw : (ch+1)*kh*kw]
+		b := 0.0
+		if bd != nil {
+			b = bd[ch]
+		}
+		di := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := b
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					rowBase := iy * wd
+					kerRow := ker[ky*kw : (ky+1)*kw]
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						s += src[rowBase+ix] * kerRow[kx]
+					}
+				}
+				dst[di] = s
+				di++
+			}
+		}
+	}
+
+	return newNode(out, func(g *tensor.Tensor) {
+		gd := g.Data()
+		var dx, dw, db *tensor.Tensor
+		if x.requiresGrad {
+			dx = tensor.New(n, c, h, wd)
+		}
+		if w.requiresGrad {
+			dw = tensor.New(c, kh, kw)
+		}
+		if bias != nil && bias.requiresGrad {
+			db = tensor.New(c)
+		}
+		for s := 0; s < n; s++ {
+			for ch := 0; ch < c; ch++ {
+				sc := s*c + ch
+				src := xd[sc*h*wd : (sc+1)*h*wd]
+				gout := gd[sc*oh*ow : (sc+1)*oh*ow]
+				ker := wdat[ch*kh*kw : (ch+1)*kh*kw]
+				gi := 0
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := gout[gi]
+						gi++
+						if gv == 0 {
+							continue
+						}
+						if db != nil {
+							db.Data()[ch] += gv
+						}
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride + kx - pad
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								if dw != nil {
+									dw.Data()[ch*kh*kw+ky*kw+kx] += gv * src[iy*wd+ix]
+								}
+								if dx != nil {
+									dx.Data()[sc*h*wd+iy*wd+ix] += gv * ker[ky*kw+kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		if dx != nil {
+			x.accum(dx)
+		}
+		if dw != nil {
+			w.accum(dw)
+		}
+		if db != nil {
+			bias.accum(db)
+		}
+	}, x, w, bias)
+}

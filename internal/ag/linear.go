@@ -1,0 +1,67 @@
+package ag
+
+import (
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// MatMul returns the matrix product a·b for 2-D Variables.
+func MatMul(a, b *Variable) *Variable {
+	out := tensor.MatMul(a.value, b.value)
+	return newNode(out, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			// dA = g · Bᵀ
+			a.accum(tensor.MatMulTransB(g, b.value))
+		}
+		if b.requiresGrad {
+			// dB = Aᵀ · g
+			b.accum(tensor.MatMulTransA(a.value, g))
+		}
+	}, a, b)
+}
+
+// AddBiasRows adds a length-D bias vector to every row of the (N×D) input.
+func AddBiasRows(x, bias *Variable) *Variable {
+	if x.value.Dims() != 2 || bias.value.Dims() != 1 || x.value.Dim(1) != bias.value.Dim(0) {
+		panic(fmt.Sprintf("ag: AddBiasRows shape mismatch: %v vs %v", x.Shape(), bias.Shape()))
+	}
+	n, d := x.value.Dim(0), x.value.Dim(1)
+	out := x.value.Clone()
+	od, bd := out.Data(), bias.value.Data()
+	for r := 0; r < n; r++ {
+		row := od[r*d : (r+1)*d]
+		for c := range row {
+			row[c] += bd[c]
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		x.accum(g)
+		if bias.requiresGrad {
+			bias.accum(tensor.SumRows(g))
+		}
+	}, x, bias)
+}
+
+// Linear computes x·Wᵀ + b, the standard fully-connected layer: x is
+// (N×in), w is (out×in), b is (out) and may be nil.
+func Linear(x, w, b *Variable) *Variable {
+	if x.value.Dims() != 2 || w.value.Dims() != 2 || x.value.Dim(1) != w.value.Dim(1) {
+		panic(fmt.Sprintf("ag: Linear shape mismatch: x %v, w %v", x.Shape(), w.Shape()))
+	}
+	out := tensor.MatMulTransB(x.value, w.value)
+	y := newNode(out, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			// dX = g · W
+			x.accum(tensor.MatMul(g, w.value))
+		}
+		if w.requiresGrad {
+			// dW = gᵀ · X
+			w.accum(tensor.MatMulTransA(g, x.value))
+		}
+	}, x, w)
+	if b == nil {
+		return y
+	}
+	return AddBiasRows(y, b)
+}

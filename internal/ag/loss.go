@@ -1,0 +1,94 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Log returns ln(max(a, floor)) elementwise. The floor (1e-12) guards
+// against log(0) when probabilities underflow; the gradient uses the
+// clamped value.
+func Log(a *Variable) *Variable {
+	const floor = 1e-12
+	clamped := tensor.Apply(a.value, func(v float64) float64 {
+		if v < floor {
+			return floor
+		}
+		return v
+	})
+	out := tensor.Apply(clamped, math.Log)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !a.requiresGrad {
+			return
+		}
+		da := tensor.New(a.value.Shape()...)
+		cd, gd, dd := clamped.Data(), g.Data(), da.Data()
+		for i := range dd {
+			dd[i] = gd[i] / cd[i]
+		}
+		a.accum(da)
+	}, a)
+}
+
+// NLL computes the negative log-likelihood −(1/N)·Σᵢ logProbs[i, labels[i]]
+// over an (N×D) matrix of log-probabilities.
+func NLL(logProbs *Variable, labels []int) *Variable {
+	n, d := check2d(logProbs, "NLL")
+	if len(labels) != n {
+		panic(fmt.Sprintf("ag: NLL got %d labels for %d rows", len(labels), n))
+	}
+	lp := logProbs.value.Data()
+	s := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= d {
+			panic(fmt.Sprintf("ag: NLL label %d out of range [0,%d)", y, d))
+		}
+		s -= lp[i*d+y]
+	}
+	out := tensor.FromSlice([]float64{s / float64(n)}, 1)
+	return newNode(out, func(g *tensor.Tensor) {
+		if !logProbs.requiresGrad {
+			return
+		}
+		gv := g.Data()[0] / float64(n)
+		dl := tensor.New(n, d)
+		dd := dl.Data()
+		for i, y := range labels {
+			dd[i*d+y] = -gv
+		}
+		logProbs.accum(dl)
+	}, logProbs)
+}
+
+// CrossEntropy is the standard classification loss: softmax cross-entropy
+// between logits (N×D) and integer labels, averaged over the batch.
+func CrossEntropy(logits *Variable, labels []int) *Variable {
+	return NLL(LogSoftmax(logits), labels)
+}
+
+// MSE returns the mean squared error between two same-shape Variables.
+func MSE(a, b *Variable) *Variable {
+	d := Sub(a, b)
+	return MeanAll(Mul(d, d))
+}
+
+// Accuracy computes the fraction of rows of logits whose argmax equals the
+// label. Evaluation-only; no gradients.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := tensor.ArgmaxRows(logits)
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("ag: Accuracy got %d predictions for %d labels", len(pred), len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,157 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// BatchNorm2d normalizes an (N,C,H,W) Variable per channel.
+//
+// In training mode it uses batch statistics and updates the running
+// mean/variance buffers in place with the given momentum (newRunning =
+// (1-momentum)*running + momentum*batch). In evaluation mode it uses the
+// running buffers and is a pure affine transform. gamma and beta have
+// length C.
+func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float64) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("ag: BatchNorm2d wants (N,C,H,W), got %v", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	if gamma.value.Len() != c || beta.value.Len() != c || runMean.Len() != c || runVar.Len() != c {
+		panic(fmt.Sprintf("ag: BatchNorm2d parameter length mismatch for C=%d", c))
+	}
+	sp := h * w
+	m := float64(n * sp) // elements per channel
+
+	mean := make([]float64, c)
+	varr := make([]float64, c)
+	xd := x.value.Data()
+	if training {
+		for ch := 0; ch < c; ch++ {
+			sum := 0.0
+			for smp := 0; smp < n; smp++ {
+				plane := xd[(smp*c+ch)*sp : (smp*c+ch+1)*sp]
+				for _, v := range plane {
+					sum += v
+				}
+			}
+			mu := sum / m
+			vs := 0.0
+			for smp := 0; smp < n; smp++ {
+				plane := xd[(smp*c+ch)*sp : (smp*c+ch+1)*sp]
+				for _, v := range plane {
+					d := v - mu
+					vs += d * d
+				}
+			}
+			mean[ch] = mu
+			varr[ch] = vs / m
+		}
+		rm, rv := runMean.Data(), runVar.Data()
+		for ch := 0; ch < c; ch++ {
+			rm[ch] = (1-momentum)*rm[ch] + momentum*mean[ch]
+			rv[ch] = (1-momentum)*rv[ch] + momentum*varr[ch]
+		}
+	} else {
+		copy(mean, runMean.Data())
+		copy(varr, runVar.Data())
+	}
+
+	invStd := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		invStd[ch] = 1 / math.Sqrt(varr[ch]+eps)
+	}
+
+	out := tensor.New(n, c, h, w)
+	xhat := make([]float64, len(xd)) // saved for backward
+	od := out.Data()
+	gd, bd := gamma.value.Data(), beta.value.Data()
+	for smp := 0; smp < n; smp++ {
+		for ch := 0; ch < c; ch++ {
+			base := (smp*c + ch) * sp
+			mu, is, ga, be := mean[ch], invStd[ch], gd[ch], bd[ch]
+			for i := 0; i < sp; i++ {
+				xh := (xd[base+i] - mu) * is
+				xhat[base+i] = xh
+				od[base+i] = ga*xh + be
+			}
+		}
+	}
+
+	return newNode(out, func(g *tensor.Tensor) {
+		gdd := g.Data()
+		// Per-channel reductions Σdy and Σdy·x̂.
+		sumDy := make([]float64, c)
+		sumDyXhat := make([]float64, c)
+		for smp := 0; smp < n; smp++ {
+			for ch := 0; ch < c; ch++ {
+				base := (smp*c + ch) * sp
+				sdy, sdx := 0.0, 0.0
+				for i := 0; i < sp; i++ {
+					dy := gdd[base+i]
+					sdy += dy
+					sdx += dy * xhat[base+i]
+				}
+				sumDy[ch] += sdy
+				sumDyXhat[ch] += sdx
+			}
+		}
+		if gamma.requiresGrad {
+			dg := tensor.New(c)
+			copy(dg.Data(), sumDyXhat)
+			gamma.accum(dg)
+		}
+		if beta.requiresGrad {
+			db := tensor.New(c)
+			copy(db.Data(), sumDy)
+			beta.accum(db)
+		}
+		if x.requiresGrad {
+			dx := tensor.New(n, c, h, w)
+			dd := dx.Data()
+			if training {
+				// dX = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
+				for smp := 0; smp < n; smp++ {
+					for ch := 0; ch < c; ch++ {
+						base := (smp*c + ch) * sp
+						k := gd[ch] * invStd[ch]
+						mDy := sumDy[ch] / m
+						mDyX := sumDyXhat[ch] / m
+						for i := 0; i < sp; i++ {
+							dd[base+i] = k * (gdd[base+i] - mDy - xhat[base+i]*mDyX)
+						}
+					}
+				}
+			} else {
+				// Running statistics are constants: dX = γ/σ · dy.
+				for smp := 0; smp < n; smp++ {
+					for ch := 0; ch < c; ch++ {
+						base := (smp*c + ch) * sp
+						k := gd[ch] * invStd[ch]
+						for i := 0; i < sp; i++ {
+							dd[base+i] = k * gdd[base+i]
+						}
+					}
+				}
+			}
+			x.accum(dx)
+		}
+	}, x, gamma, beta)
+}
+
+// BatchNorm1d normalizes an (N,D) Variable per feature column; semantics
+// mirror BatchNorm2d. Used by the generator's fully-connected stem.
+func BatchNorm1d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float64) *Variable {
+	s := x.value.Shape()
+	if len(s) != 2 {
+		panic(fmt.Sprintf("ag: BatchNorm1d wants (N,D), got %v", s))
+	}
+	n, d := s[0], s[1]
+	// Reuse the 2-D implementation by viewing (N,D) as (N,D,1,1).
+	x4 := Reshape(x, n, d, 1, 1)
+	y := BatchNorm2d(x4, gamma, beta, runMean, runVar, training, momentum, eps)
+	return Reshape(y, n, d)
+}

@@ -1,0 +1,167 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// MaxPool2d applies k×k max pooling with the given stride over an
+// (N,C,H,W) Variable. Argmax positions are recorded in the forward pass and
+// reused to scatter gradients.
+func MaxPool2d(x *Variable, k, stride int) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("ag: MaxPool2d wants (N,C,H,W), got %v", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	oh := tensor.ConvOutSize(h, k, stride, 0)
+	ow := tensor.ConvOutSize(w, k, stride, 0)
+	out := tensor.New(n, c, oh, ow)
+	arg := make([]int32, n*c*oh*ow) // flat index within the (H,W) plane
+	xd, od := x.value.Data(), out.Data()
+	for sc := 0; sc < n*c; sc++ {
+		src := xd[sc*h*w : (sc+1)*h*w]
+		dst := od[sc*oh*ow : (sc+1)*oh*ow]
+		ar := arg[sc*oh*ow : (sc+1)*oh*ow]
+		di := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bi := 0
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*stride + kx
+						if ix >= w {
+							break
+						}
+						if v := src[iy*w+ix]; v > best {
+							best = v
+							bi = iy*w + ix
+						}
+					}
+				}
+				dst[di] = best
+				ar[di] = int32(bi)
+				di++
+			}
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, c, h, w)
+		gd, dd := g.Data(), dx.Data()
+		for sc := 0; sc < n*c; sc++ {
+			gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
+			ar := arg[sc*oh*ow : (sc+1)*oh*ow]
+			base := sc * h * w
+			for i, gv := range gsrc {
+				dd[base+int(ar[i])] += gv
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// AvgPool2d applies k×k average pooling with the given stride (no padding).
+func AvgPool2d(x *Variable, k, stride int) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("ag: AvgPool2d wants (N,C,H,W), got %v", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	oh := tensor.ConvOutSize(h, k, stride, 0)
+	ow := tensor.ConvOutSize(w, k, stride, 0)
+	inv := 1 / float64(k*k)
+	out := tensor.New(n, c, oh, ow)
+	xd, od := x.value.Data(), out.Data()
+	for sc := 0; sc < n*c; sc++ {
+		src := xd[sc*h*w : (sc+1)*h*w]
+		dst := od[sc*oh*ow : (sc+1)*oh*ow]
+		di := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := 0.0
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						iy, ix := oy*stride+ky, ox*stride+kx
+						if iy < h && ix < w {
+							sum += src[iy*w+ix]
+						}
+					}
+				}
+				dst[di] = sum * inv
+				di++
+			}
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, c, h, w)
+		gd, dd := g.Data(), dx.Data()
+		for sc := 0; sc < n*c; sc++ {
+			gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
+			base := sc * h * w
+			gi := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := gsrc[gi] * inv
+					gi++
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							iy, ix := oy*stride+ky, ox*stride+kx
+							if iy < h && ix < w {
+								dd[base+iy*w+ix] += gv
+							}
+						}
+					}
+				}
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// GlobalAvgPool reduces (N,C,H,W) to (N,C) by averaging each channel plane.
+func GlobalAvgPool(x *Variable) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("ag: GlobalAvgPool wants (N,C,H,W), got %v", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	sp := h * w
+	inv := 1 / float64(sp)
+	out := tensor.New(n, c)
+	xd, od := x.value.Data(), out.Data()
+	for sc := 0; sc < n*c; sc++ {
+		sum := 0.0
+		for _, v := range xd[sc*sp : (sc+1)*sp] {
+			sum += v
+		}
+		od[sc] = sum * inv
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, c, h, w)
+		gd, dd := g.Data(), dx.Data()
+		for sc := 0; sc < n*c; sc++ {
+			gv := gd[sc] * inv
+			plane := dd[sc*sp : (sc+1)*sp]
+			for i := range plane {
+				plane[i] = gv
+			}
+		}
+		x.accum(dx)
+	}, x)
+}

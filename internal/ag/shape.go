@@ -1,0 +1,184 @@
+package ag
+
+import (
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Reshape returns a Variable viewing x's data under a new shape. Gradients
+// are reshaped back on the way down.
+func Reshape(x *Variable, shape ...int) *Variable {
+	out := x.value.Reshape(shape...)
+	orig := x.value.Shape()
+	return newNode(out, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			x.accum(g.Reshape(orig...))
+		}
+	}, x)
+}
+
+// Flatten reshapes (N, ...) to (N, rest).
+func Flatten(x *Variable) *Variable {
+	s := x.value.Shape()
+	if len(s) < 2 {
+		panic(fmt.Sprintf("ag: Flatten wants at least 2 dims, got %v", s))
+	}
+	rest := 1
+	for _, d := range s[1:] {
+		rest *= d
+	}
+	return Reshape(x, s[0], rest)
+}
+
+// ConcatChannels concatenates two (N,C,H,W) Variables along the channel
+// dimension; spatial dimensions and batch must match.
+func ConcatChannels(a, b *Variable) *Variable {
+	as, bs := a.value.Shape(), b.value.Shape()
+	if len(as) != 4 || len(bs) != 4 || as[0] != bs[0] || as[2] != bs[2] || as[3] != bs[3] {
+		panic(fmt.Sprintf("ag: ConcatChannels shape mismatch: %v vs %v", as, bs))
+	}
+	n, ca, cb, h, w := as[0], as[1], bs[1], as[2], as[3]
+	sp := h * w
+	out := tensor.New(n, ca+cb, h, w)
+	ad, bd, od := a.value.Data(), b.value.Data(), out.Data()
+	for s := 0; s < n; s++ {
+		copy(od[s*(ca+cb)*sp:], ad[s*ca*sp:(s+1)*ca*sp])
+		copy(od[(s*(ca+cb)+ca)*sp:], bd[s*cb*sp:(s+1)*cb*sp])
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		gd := g.Data()
+		if a.requiresGrad {
+			da := tensor.New(n, ca, h, w)
+			for s := 0; s < n; s++ {
+				copy(da.Data()[s*ca*sp:(s+1)*ca*sp], gd[s*(ca+cb)*sp:])
+			}
+			a.accum(da)
+		}
+		if b.requiresGrad {
+			db := tensor.New(n, cb, h, w)
+			for s := 0; s < n; s++ {
+				copy(db.Data()[s*cb*sp:(s+1)*cb*sp], gd[(s*(ca+cb)+ca)*sp:(s*(ca+cb)+ca)*sp+cb*sp])
+			}
+			b.accum(db)
+		}
+	}, a, b)
+}
+
+// SplitChannels splits an (N,C,H,W) Variable into the first c1 channels and
+// the remaining C-c1 channels (the "channel split" of ShuffleNetV2).
+func SplitChannels(x *Variable, c1 int) (*Variable, *Variable) {
+	s := x.value.Shape()
+	if len(s) != 4 || c1 <= 0 || c1 >= s[1] {
+		panic(fmt.Sprintf("ag: SplitChannels(%d) invalid for shape %v", c1, s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	c2 := c - c1
+	sp := h * w
+	fa := tensor.New(n, c1, h, w)
+	fb := tensor.New(n, c2, h, w)
+	xd := x.value.Data()
+	for smp := 0; smp < n; smp++ {
+		copy(fa.Data()[smp*c1*sp:(smp+1)*c1*sp], xd[smp*c*sp:])
+		copy(fb.Data()[smp*c2*sp:(smp+1)*c2*sp], xd[(smp*c+c1)*sp:])
+	}
+	// Both halves share one backward that scatters into x, each contributing
+	// its own region; they are independent nodes with x as parent.
+	mk := func(val *tensor.Tensor, chanOff, nch int) *Variable {
+		return newNode(val, func(g *tensor.Tensor) {
+			if !x.requiresGrad {
+				return
+			}
+			dx := tensor.New(n, c, h, w)
+			gd := g.Data()
+			for smp := 0; smp < n; smp++ {
+				copy(dx.Data()[(smp*c+chanOff)*sp:(smp*c+chanOff)*sp+nch*sp], gd[smp*nch*sp:(smp+1)*nch*sp])
+			}
+			x.accum(dx)
+		}, x)
+	}
+	return mk(fa, 0, c1), mk(fb, c1, c2)
+}
+
+// ChannelShuffle permutes channels of an (N,C,H,W) Variable with the
+// ShuffleNet interleave: C = groups*k, channel (g,i) moves to (i,g).
+func ChannelShuffle(x *Variable, groups int) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 || s[1]%groups != 0 {
+		panic(fmt.Sprintf("ag: ChannelShuffle groups %d invalid for shape %v", groups, s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	k := c / groups
+	sp := h * w
+	perm := make([]int, c) // perm[dst] = src
+	for g := 0; g < groups; g++ {
+		for i := 0; i < k; i++ {
+			perm[i*groups+g] = g*k + i
+		}
+	}
+	out := tensor.New(n, c, h, w)
+	xd, od := x.value.Data(), out.Data()
+	for smp := 0; smp < n; smp++ {
+		for dst, src := range perm {
+			copy(od[(smp*c+dst)*sp:(smp*c+dst+1)*sp], xd[(smp*c+src)*sp:(smp*c+src+1)*sp])
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, c, h, w)
+		gd := g.Data()
+		for smp := 0; smp < n; smp++ {
+			for dst, src := range perm {
+				copy(dx.Data()[(smp*c+src)*sp:(smp*c+src+1)*sp], gd[(smp*c+dst)*sp:(smp*c+dst+1)*sp])
+			}
+		}
+		x.accum(dx)
+	}, x)
+}
+
+// Upsample2x doubles the spatial dimensions of an (N,C,H,W) Variable by
+// nearest-neighbour replication (used by the generator's decoder).
+func Upsample2x(x *Variable) *Variable {
+	s := x.value.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("ag: Upsample2x wants (N,C,H,W), got %v", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	out := tensor.New(n, c, 2*h, 2*w)
+	xd, od := x.value.Data(), out.Data()
+	for sc := 0; sc < n*c; sc++ {
+		src := xd[sc*h*w : (sc+1)*h*w]
+		dst := od[sc*4*h*w : (sc+1)*4*h*w]
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				v := src[y*w+xx]
+				dst[(2*y)*(2*w)+2*xx] = v
+				dst[(2*y)*(2*w)+2*xx+1] = v
+				dst[(2*y+1)*(2*w)+2*xx] = v
+				dst[(2*y+1)*(2*w)+2*xx+1] = v
+			}
+		}
+	}
+	return newNode(out, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(n, c, h, w)
+		gd, dd := g.Data(), dx.Data()
+		for sc := 0; sc < n*c; sc++ {
+			src := gd[sc*4*h*w : (sc+1)*4*h*w]
+			dst := dd[sc*h*w : (sc+1)*h*w]
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					dst[y*w+xx] = src[(2*y)*(2*w)+2*xx] +
+						src[(2*y)*(2*w)+2*xx+1] +
+						src[(2*y+1)*(2*w)+2*xx] +
+						src[(2*y+1)*(2*w)+2*xx+1]
+				}
+			}
+		}
+		x.accum(dx)
+	}, x)
+}

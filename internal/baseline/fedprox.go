@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/nn"
+)
+
+// FedProxConfig parameterises FedProx (Li et al., 2018): FedAvg with an
+// ℓ2 proximal term μ‖w − w_global‖² in the local objective. FedZKT's
+// Eq. 9 adapts this idea to heterogeneous models (anchoring to the
+// device's own received parameters); FedProx itself needs homogeneous
+// models and is included as the non-IID reference point.
+type FedProxConfig struct {
+	FedAvgConfig
+	// Mu scales the proximal term (0 degenerates to FedAvg).
+	Mu float64
+}
+
+// FedProx wraps FedAvg with the proximal local objective.
+type FedProx struct {
+	inner *FedAvg
+}
+
+// NewFedProx builds the federation; every device runs cfg.Arch.
+func NewFedProx(cfg FedProxConfig, ds *data.Dataset, shards [][]int) (*FedProx, error) {
+	if cfg.Mu < 0 {
+		return nil, fmt.Errorf("baseline: fedprox needs mu >= 0, got %v", cfg.Mu)
+	}
+	inner, err := NewFedAvg(cfg.FedAvgConfig, ds, shards)
+	if err != nil {
+		return nil, err
+	}
+	// FedAvg already snapshots the downloaded global parameters as the
+	// proximal anchor (Device.Download → SnapshotReceived); enabling the
+	// term is a matter of passing Mu through the local config.
+	inner.proxMu = cfg.Mu
+	return &FedProx{inner: inner}, nil
+}
+
+// Global exposes the averaged global model.
+func (f *FedProx) Global() nn.Module { return f.inner.Global() }
+
+// Run executes the round loop: broadcast, proximal local training,
+// weighted averaging.
+func (f *FedProx) Run(ctx context.Context) (fed.History, error) {
+	return f.inner.Run(ctx)
+}

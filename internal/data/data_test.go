@@ -1,0 +1,240 @@
+package data
+
+import (
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+func TestMakeValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Family: FamilyDigits, Classes: 1, C: 1, H: 8, W: 8, TrainPerClass: 5, TestPerClass: 5},
+		{Family: FamilyDigits, Classes: 10, C: 1, H: 8, W: 8, TrainPerClass: 0, TestPerClass: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := Make(cfg); err == nil {
+			t.Fatalf("config %d: want error", i)
+		}
+	}
+}
+
+func TestDatasetShapesAndBalance(t *testing.T) {
+	ds := SynthMNIST(Sizes{TrainPerClass: 12, TestPerClass: 4}, 1)
+	if ds.NumTrain() != 120 || ds.NumTest() != 40 {
+		t.Fatalf("sizes: train=%d test=%d", ds.NumTrain(), ds.NumTest())
+	}
+	s := ds.TrainX.Shape()
+	if s[0] != 120 || s[1] != 1 || s[2] != 16 || s[3] != 16 {
+		t.Fatalf("train shape %v", s)
+	}
+	for cl, n := range ds.TrainLabelCounts() {
+		if n != 12 {
+			t.Fatalf("class %d has %d train samples, want 12", cl, n)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SynthCIFAR10(Sizes{TrainPerClass: 5, TestPerClass: 2}, 7)
+	b := SynthCIFAR10(Sizes{TrainPerClass: 5, TestPerClass: 2}, 7)
+	if tensor.MaxAbsDiff(a.TrainX, b.TrainX) != 0 {
+		t.Fatal("same seed produced different data")
+	}
+	for i := range a.TrainY {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	c := SynthCIFAR10(Sizes{TrainPerClass: 5, TestPerClass: 2}, 8)
+	if tensor.MaxAbsDiff(a.TrainX, c.TrainX) == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	for _, name := range []string{"synthmnist", "synthkmnist", "synthfashion", "synthcifar10", "synthcifar100", "synthsvhn"} {
+		ds, ok := ByName(name, Sizes{TrainPerClass: 3, TestPerClass: 2}, 1)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		for _, v := range ds.TrainX.Data() {
+			if v < -1 || v > 1 {
+				t.Fatalf("%s: pixel %v outside [-1,1]", name, v)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("mnist", DefaultSizes, 1); ok {
+		t.Fatal("unknown name must return ok=false")
+	}
+}
+
+func TestClassSeparability(t *testing.T) {
+	// A nearest-class-mean classifier on raw pixels must beat chance by a
+	// wide margin: the classes are learnable by construction.
+	ds := SynthMNIST(Sizes{TrainPerClass: 30, TestPerClass: 10}, 3)
+	px := ds.C * ds.H * ds.W
+	means := make([][]float64, ds.Classes)
+	counts := make([]int, ds.Classes)
+	for i := range means {
+		means[i] = make([]float64, px)
+	}
+	xd := ds.TrainX.Data()
+	for i, y := range ds.TrainY {
+		for j := 0; j < px; j++ {
+			means[y][j] += xd[i*px+j]
+		}
+		counts[y]++
+	}
+	for cl := range means {
+		for j := range means[cl] {
+			means[cl][j] /= float64(counts[cl])
+		}
+	}
+	correct := 0
+	td := ds.TestX.Data()
+	for i, y := range ds.TestY {
+		best, bi := 1e18, -1
+		for cl := range means {
+			d := 0.0
+			for j := 0; j < px; j++ {
+				diff := td[i*px+j] - means[cl][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bi = d, cl
+			}
+		}
+		if bi == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(ds.TestY))
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean accuracy %.2f; classes are not separable enough", acc)
+	}
+}
+
+func TestFamilyStatisticsDiffer(t *testing.T) {
+	// The Objects (CIFAR-like) and Street (SVHN-like) families must have
+	// visibly different pixel statistics — that is what drives the FedMD
+	// public-dataset sensitivity result (Table I).
+	obj := SynthCIFAR10(Sizes{TrainPerClass: 20, TestPerClass: 2}, 5)
+	str := SynthSVHN(Sizes{TrainPerClass: 20, TestPerClass: 2}, 5)
+	// Street backgrounds are two-tone vertical splits redrawn per sample,
+	// so the mean left-half/right-half intensity difference is large;
+	// objects backgrounds are smooth class prototypes with little
+	// systematic left-right asymmetry.
+	lrAsymmetry := func(ds *Dataset) float64 {
+		n := ds.NumTrain()
+		xd := ds.TrainX.Data()
+		px := ds.C * ds.H * ds.W
+		total := 0.0
+		for i := 0; i < n; i++ {
+			left, right := 0.0, 0.0
+			for ch := 0; ch < ds.C; ch++ {
+				for y := 0; y < ds.H; y++ {
+					row := xd[i*px+ch*ds.H*ds.W+y*ds.W : i*px+ch*ds.H*ds.W+(y+1)*ds.W]
+					for x := 0; x < ds.W/2; x++ {
+						left += row[x]
+					}
+					for x := ds.W / 2; x < ds.W; x++ {
+						right += row[x]
+					}
+				}
+			}
+			half := float64(ds.C * ds.H * ds.W / 2)
+			diff := left/half - right/half
+			if diff < 0 {
+				diff = -diff
+			}
+			total += diff
+		}
+		return total / float64(n)
+	}
+	ao, as := lrAsymmetry(obj), lrAsymmetry(str)
+	if as < 1.5*ao {
+		t.Fatalf("street left-right asymmetry %.4f not ≫ objects %.4f; families not distinct", as, ao)
+	}
+}
+
+func TestGatherAndSubset(t *testing.T) {
+	ds := SynthMNIST(Sizes{TrainPerClass: 4, TestPerClass: 2}, 2)
+	x, y := ds.GatherTrain([]int{0, 3, 5})
+	if x.Dim(0) != 3 || len(y) != 3 {
+		t.Fatalf("gather sizes: %v / %d", x.Shape(), len(y))
+	}
+	if y[1] != ds.TrainY[3] {
+		t.Fatal("labels misaligned")
+	}
+
+	sub := NewSubset(ds, []int{1, 2, 3})
+	if sub.Len() != 3 {
+		t.Fatalf("subset len %d", sub.Len())
+	}
+	bx, by := sub.Batch([]int{2, 0})
+	if bx.Dim(0) != 2 || by[0] != ds.TrainY[3] || by[1] != ds.TrainY[1] {
+		t.Fatal("subset batch misaligned")
+	}
+	total := 0
+	for _, c := range sub.LabelCounts() {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("label counts sum %d", total)
+	}
+}
+
+func TestSubsetIndexIsolation(t *testing.T) {
+	ds := SynthMNIST(Sizes{TrainPerClass: 2, TestPerClass: 1}, 2)
+	idx := []int{0, 1}
+	sub := NewSubset(ds, idx)
+	idx[0] = 19
+	if sub.Idx[0] != 0 {
+		t.Fatal("NewSubset must copy the index slice")
+	}
+}
+
+func TestShuffledBatches(t *testing.T) {
+	rng := tensor.NewRand(1)
+	batches := ShuffledBatches(10, 3, rng)
+	if len(batches) != 4 {
+		t.Fatalf("batches = %d, want 4", len(batches))
+	}
+	seen := make(map[int]bool)
+	for _, b := range batches {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d repeated", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d of 10 indices", len(seen))
+	}
+	if len(batches[3]) != 1 {
+		t.Fatalf("last batch len %d, want 1", len(batches[3]))
+	}
+}
+
+func TestGatherPanicsOnEmptyAndOutOfRange(t *testing.T) {
+	ds := SynthMNIST(Sizes{TrainPerClass: 2, TestPerClass: 1}, 2)
+	for name, fn := range map[string]func(){
+		"empty":  func() { ds.GatherTrain(nil) },
+		"oob":    func() { ds.GatherTrain([]int{9999}) },
+		"negidx": func() { ds.GatherTest([]int{-1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package data
+
+// Sizes gives the per-class sample counts for a dataset build.
+type Sizes struct {
+	TrainPerClass int
+	TestPerClass  int
+}
+
+// DefaultSizes is the scaled-down default used by tests and the default
+// experiment scale: 10 classes × 60 train + 20 test per class.
+var DefaultSizes = Sizes{TrainPerClass: 60, TestPerClass: 20}
+
+// SynthMNIST builds the MNIST stand-in: 1×16×16 digit-like patterns.
+func SynthMNIST(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthmnist", Family: FamilyDigits, Classes: 10,
+		C: 1, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xA1,
+	})
+}
+
+// SynthKMNIST builds the KMNIST stand-in: denser glyph-like patterns.
+func SynthKMNIST(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthkmnist", Family: FamilyGlyphs, Classes: 10,
+		C: 1, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xB2,
+	})
+}
+
+// SynthFashion builds the FASHION-MNIST stand-in: blocky apparel-like
+// shapes.
+func SynthFashion(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthfashion", Family: FamilyApparel, Classes: 10,
+		C: 1, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xC3,
+	})
+}
+
+// SynthCIFAR10 builds the CIFAR-10 stand-in: 3×16×16 colored object-like
+// patterns.
+func SynthCIFAR10(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthcifar10", Family: FamilyObjects, Classes: 10,
+		C: 3, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xD4,
+	})
+}
+
+// SynthCIFAR100 builds the CIFAR-100 stand-in used as FedMD's *similar*
+// public dataset for CIFAR-10: same Objects family and image statistics,
+// different (and more numerous) classes.
+func SynthCIFAR100(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthcifar100", Family: FamilyObjects, Classes: 100,
+		C: 3, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xE5,
+	})
+}
+
+// SynthSVHN builds the SVHN stand-in used as FedMD's *dissimilar* public
+// dataset for CIFAR-10: digit foregrounds over high-variance colored
+// backgrounds, statistically far from the Objects family.
+func SynthSVHN(sz Sizes, seed uint64) *Dataset {
+	return MustMake(Config{
+		Name: "synthsvhn", Family: FamilyStreet, Classes: 10,
+		C: 3, H: 16, W: 16,
+		TrainPerClass: sz.TrainPerClass, TestPerClass: sz.TestPerClass,
+		Seed: seed ^ 0xF6,
+	})
+}
+
+// ByName builds one of the six named datasets. Recognised names:
+// synthmnist, synthkmnist, synthfashion, synthcifar10, synthcifar100,
+// synthsvhn.
+func ByName(name string, sz Sizes, seed uint64) (*Dataset, bool) {
+	switch name {
+	case "synthmnist":
+		return SynthMNIST(sz, seed), true
+	case "synthkmnist":
+		return SynthKMNIST(sz, seed), true
+	case "synthfashion":
+		return SynthFashion(sz, seed), true
+	case "synthcifar10":
+		return SynthCIFAR10(sz, seed), true
+	case "synthcifar100":
+		return SynthCIFAR100(sz, seed), true
+	case "synthsvhn":
+		return SynthSVHN(sz, seed), true
+	default:
+		return nil, false
+	}
+}

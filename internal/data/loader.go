@@ -1,0 +1,105 @@
+package data
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// GatherTrain assembles the training samples at the given indices into a
+// fresh batch tensor and label slice.
+func (d *Dataset) GatherTrain(idx []int) (*tensor.Tensor, []int) {
+	return gather(d.TrainX, d.TrainY, idx, d.C, d.H, d.W)
+}
+
+// GatherTest assembles the test samples at the given indices.
+func (d *Dataset) GatherTest(idx []int) (*tensor.Tensor, []int) {
+	return gather(d.TestX, d.TestY, idx, d.C, d.H, d.W)
+}
+
+func gather(x *tensor.Tensor, y []int, idx []int, c, h, w int) (*tensor.Tensor, []int) {
+	if len(idx) == 0 {
+		panic("data: gather of empty index slice")
+	}
+	px := c * h * w
+	out := tensor.New(len(idx), c, h, w)
+	labels := make([]int, len(idx))
+	od, xd := out.Data(), x.Data()
+	for i, src := range idx {
+		if src < 0 || src >= len(y) {
+			panic(fmt.Sprintf("data: index %d out of range [0,%d)", src, len(y)))
+		}
+		copy(od[i*px:(i+1)*px], xd[src*px:(src+1)*px])
+		labels[i] = y[src]
+	}
+	return out, labels
+}
+
+// Subset is a view over a dataset's training split, as held by one
+// federated device.
+type Subset struct {
+	DS  *Dataset
+	Idx []int
+}
+
+// NewSubset constructs a device-local view. The index slice is copied so
+// later caller mutations cannot corrupt the subset.
+func NewSubset(ds *Dataset, idx []int) *Subset {
+	return &Subset{DS: ds, Idx: append([]int(nil), idx...)}
+}
+
+// Len returns the number of samples in the subset.
+func (s *Subset) Len() int { return len(s.Idx) }
+
+// Batch gathers the subset samples selected by local positions.
+func (s *Subset) Batch(local []int) (*tensor.Tensor, []int) {
+	global := make([]int, len(local))
+	for i, l := range local {
+		global[i] = s.Idx[l]
+	}
+	return s.DS.GatherTrain(global)
+}
+
+// LabelCounts returns the per-class sample counts within the subset.
+func (s *Subset) LabelCounts() []int {
+	counts := make([]int, s.DS.Classes)
+	for _, i := range s.Idx {
+		counts[s.DS.TrainY[i]]++
+	}
+	return counts
+}
+
+// ShuffledBatches splits [0,n) into mini-batches of size batchSize after a
+// Fisher-Yates shuffle; the final batch may be smaller. It panics if n or
+// batchSize is non-positive.
+func ShuffledBatches(n, batchSize int, rng *rand.Rand) [][]int {
+	if n <= 0 || batchSize <= 0 {
+		panic(fmt.Sprintf("data: ShuffledBatches(n=%d, batchSize=%d)", n, batchSize))
+	}
+	perm := rng.Perm(n)
+	var out [][]int
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, perm[lo:hi])
+	}
+	return out
+}
+
+// TrainLabelCounts returns per-class counts over the full training split.
+func (d *Dataset) TrainLabelCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, y := range d.TrainY {
+		counts[y]++
+	}
+	return counts
+}
+
+// NumTrain returns the number of training samples.
+func (d *Dataset) NumTrain() int { return len(d.TrainY) }
+
+// NumTest returns the number of test samples.
+func (d *Dataset) NumTest() int { return len(d.TestY) }

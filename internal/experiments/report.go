@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result with a header row and string
+// cells, printable as Markdown or CSV.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; it panics if the arity differs from the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("experiments: row arity %d != header arity %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a rendered experiment curve set: the reproduction of one paper
+// figure (or panel), printable as a Markdown table of its series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a series; X and Y must have equal length.
+func (f *Figure) AddSeries(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("experiments: series %q has %d x values and %d y values", name, len(x), len(y)))
+	}
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Markdown renders the figure as a Markdown table with one column per
+// series, aligned on the union of X values per series order.
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(header)) + "\n")
+	// Rows follow the first series' X values; series are expected to share
+	// a grid (all our experiments do).
+	for i, x := range f.Series[0].X {
+		cells := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				cells = append(cells, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the figure with one line per (series, x, y) triple.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series," + f.XLabel + "," + f.YLabel + "\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%s,%.6f\n", s.Name, trimFloat(s.X[i]), s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Result bundles whatever an experiment produced.
+type Result struct {
+	Tables  []*Table
+	Figures []*Figure
+}
+
+// Markdown renders all tables and figures.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,48 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV streams the history as CSV: one row per round with the global
+// accuracy, mean and per-device accuracies, traffic and timing. Suitable
+// for plotting the paper's learning curves.
+func (h History) WriteCSV(w io.Writer) error {
+	if len(h) == 0 {
+		return fmt.Errorf("fed: empty history")
+	}
+	devices := len(h[0].DeviceAcc)
+	header := []string{"round", "global_acc", "mean_device_acc", "active", "bytes_up", "bytes_down", "input_grad_norm", "elapsed_ms"}
+	for d := 0; d < devices; d++ {
+		header = append(header, "device_"+strconv.Itoa(d)+"_acc")
+	}
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return fmt.Errorf("fed: writing csv header: %w", err)
+	}
+	for _, m := range h {
+		row := []string{
+			strconv.Itoa(m.Round),
+			strconv.FormatFloat(m.GlobalAcc, 'f', 6, 64),
+			strconv.FormatFloat(m.MeanDeviceAcc, 'f', 6, 64),
+			strconv.Itoa(len(m.Active)),
+			strconv.FormatInt(m.BytesUp, 10),
+			strconv.FormatInt(m.BytesDown, 10),
+			strconv.FormatFloat(m.InputGradNorm, 'g', 6, 64),
+			strconv.FormatInt(m.Elapsed.Milliseconds(), 10),
+		}
+		for d := 0; d < devices; d++ {
+			v := 0.0
+			if d < len(m.DeviceAcc) {
+				v = m.DeviceAcc[d]
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 6, 64))
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return fmt.Errorf("fed: writing csv row: %w", err)
+		}
+	}
+	return nil
+}

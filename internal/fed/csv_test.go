@@ -1,0 +1,45 @@
+package fed
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistoryWriteCSV(t *testing.T) {
+	h := History{
+		{Round: 1, GlobalAcc: 0.5, MeanDeviceAcc: 0.4, DeviceAcc: []float64{0.3, 0.5},
+			Active: []int{0, 1}, BytesUp: 100, BytesDown: 200, InputGradNorm: 0.01,
+			Elapsed: 1500 * time.Millisecond},
+		{Round: 2, GlobalAcc: 0.6, MeanDeviceAcc: 0.5, DeviceAcc: []float64{0.4, 0.6},
+			Active: []int{1}, BytesUp: 50, BytesDown: 60, Elapsed: time.Second},
+	}
+	var b strings.Builder
+	if err := h.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "round,global_acc,mean_device_acc,active,bytes_up,bytes_down") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "device_0_acc,device_1_acc") {
+		t.Fatalf("missing per-device columns: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0.500000,0.400000,2,100,200,0.01,1500") {
+		t.Fatalf("row 1: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], ",1,50,60,") {
+		t.Fatalf("row 2: %s", lines[2])
+	}
+}
+
+func TestHistoryWriteCSVEmpty(t *testing.T) {
+	var h History
+	var b strings.Builder
+	if err := h.WriteCSV(&b); err == nil {
+		t.Fatal("want error for empty history")
+	}
+}

@@ -1,0 +1,154 @@
+// Package fed provides the federated-learning runtime shared by FedZKT and
+// the baselines: per-device state and local training (Algorithm 2 of the
+// paper, including the ℓ2 proximal regularisation of Eq. 9), active-device
+// sampling for straggler experiments, batched evaluation, and per-round
+// metrics.
+package fed
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/optim"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Device is one federated participant: an independently chosen on-device
+// model plus a private shard of training data.
+type Device struct {
+	ID    int
+	Arch  string
+	Model nn.Module
+	Data  *data.Subset
+
+	// received holds a snapshot of the parameters last downloaded from the
+	// server, the anchor of the ℓ2 proximal term (Eq. 9). Nil before the
+	// first download.
+	received nn.StateDict
+}
+
+// NewDevice constructs a device over its private data shard.
+func NewDevice(id int, arch string, m nn.Module, shard *data.Subset) *Device {
+	return &Device{ID: id, Arch: arch, Model: m, Data: shard}
+}
+
+// SnapshotReceived records the model's current parameters as "received
+// from the server"; subsequent LocalUpdate calls regularise toward them.
+func (d *Device) SnapshotReceived() {
+	d.received = nn.CaptureState(d.Model).Clone()
+}
+
+// LocalConfig configures a device's local training (Algorithm 2).
+type LocalConfig struct {
+	// Epochs is the number of local passes over the shard (T_l).
+	Epochs int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// LR is the SGD learning rate (paper: 0.01).
+	LR float64
+	// Momentum is the SGD momentum (paper uses plain SGD; kept for
+	// ablations).
+	Momentum float64
+	// WeightDecay is the SGD weight decay (paper: 5e-4 for Table V runs).
+	WeightDecay float64
+	// ProxMu scales the ℓ2 proximal term μ·‖w − w_recv‖² toward the last
+	// received parameters (Eq. 9). Zero disables it.
+	ProxMu float64
+}
+
+// Validate reports configuration errors.
+func (c LocalConfig) Validate() error {
+	if c.Epochs <= 0 || c.BatchSize <= 0 || c.LR <= 0 {
+		return fmt.Errorf("fed: invalid local config %+v", c)
+	}
+	return nil
+}
+
+// LocalUpdate runs Algorithm 2: Epochs passes of mini-batch SGD on the
+// cross-entropy loss over the device's private shard, optionally with the
+// ℓ2 proximal term. It returns the mean training loss of the final epoch.
+func (d *Device) LocalUpdate(cfg LocalConfig, rng *rand.Rand) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if d.Data.Len() == 0 {
+		return 0, fmt.Errorf("fed: device %d has no data", d.ID)
+	}
+	d.Model.SetTraining(true)
+	params := d.Model.Params()
+	opt := optim.NewSGD(params, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+
+	var anchor nn.StateDict
+	if cfg.ProxMu > 0 && d.received != nil {
+		anchor = d.received
+	}
+	captured := nn.CaptureState(d.Model)
+
+	lastLoss := 0.0
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		epochLoss, batches := 0.0, 0
+		for _, idx := range data.ShuffledBatches(d.Data.Len(), cfg.BatchSize, rng) {
+			x, y := d.Data.Batch(idx)
+			opt.ZeroGrad()
+			loss := ag.CrossEntropy(d.Model.Forward(ag.Const(x)), y)
+			ag.Backward(loss)
+			if anchor != nil {
+				addProximalGrad(captured, anchor, params, cfg.ProxMu)
+			}
+			opt.Step()
+			epochLoss += loss.Value().Data()[0]
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss, nil
+}
+
+// addProximalGrad adds 2μ(w − w_anchor) to every parameter gradient —
+// the analytic gradient of μ‖w − w_anchor‖², applied directly instead of
+// through the tape for efficiency. Batch-norm running statistics appear in
+// the state dict but not in params, so they are naturally excluded.
+func addProximalGrad(captured, anchor nn.StateDict, params []*ag.Variable, mu float64) {
+	// Map value tensors back to their parameter Variables by identity.
+	byTensor := make(map[*tensor.Tensor]*ag.Variable, len(params))
+	for _, p := range params {
+		byTensor[p.Value()] = p
+	}
+	for name, w := range captured {
+		p, isParam := byTensor[w]
+		if !isParam {
+			continue
+		}
+		g := p.Grad()
+		if g == nil {
+			continue
+		}
+		prev, ok := anchor[name]
+		if !ok || prev.Len() != w.Len() {
+			continue
+		}
+		gd, wd, ad := g.Data(), w.Data(), prev.Data()
+		for i := range gd {
+			gd[i] += 2 * mu * (wd[i] - ad[i])
+		}
+	}
+}
+
+// Upload captures a deep copy of the device's full model state, as sent to
+// the server.
+func (d *Device) Upload() nn.StateDict {
+	return nn.CaptureState(d.Model).Clone()
+}
+
+// Download installs server-provided parameters into the device model and
+// snapshots them as the new proximal anchor.
+func (d *Device) Download(sd nn.StateDict) error {
+	if err := nn.LoadState(d.Model, sd); err != nil {
+		return fmt.Errorf("fed: device %d download: %w", d.ID, err)
+	}
+	d.SnapshotReceived()
+	return nil
+}

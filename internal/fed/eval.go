@@ -1,0 +1,60 @@
+package fed
+
+import (
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/nn"
+)
+
+// Evaluate computes a model's top-1 accuracy on the dataset's test split,
+// in evaluation mode (running batch-norm statistics), batched to bound
+// memory. The model's training flag is restored to training mode on
+// return, matching the runtime's convention that models are trained
+// between evaluations.
+func Evaluate(m nn.Module, ds *data.Dataset, batchSize int) float64 {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	m.SetTraining(false)
+	defer m.SetTraining(true)
+	n := ds.NumTest()
+	correct := 0
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := ds.GatherTest(idx)
+		logits := m.Forward(ag.Const(x)).Value()
+		correct += int(ag.Accuracy(logits, y)*float64(len(y)) + 0.5)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(correct) / float64(n)
+}
+
+// EvaluateAll returns the test accuracy of every device's model.
+func EvaluateAll(devices []*Device, ds *data.Dataset, batchSize int) []float64 {
+	accs := make([]float64, len(devices))
+	for i, d := range devices {
+		accs[i] = Evaluate(d.Model, ds, batchSize)
+	}
+	return accs
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

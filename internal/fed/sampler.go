@@ -1,0 +1,99 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// SampleActive selects the active device subset for one communication
+// round: a uniformly random ⌈p·k⌉-sized subset of [0,k), modelling the
+// straggler experiments where only a portion p of devices participates.
+// At least one device is always selected.
+func SampleActive(k int, p float64, rng *rand.Rand) []int {
+	if k <= 0 {
+		panic(fmt.Sprintf("fed: SampleActive with k=%d", k))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("fed: active fraction %v outside [0,1]", p))
+	}
+	n := int(p*float64(k) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > k {
+		n = k
+	}
+	perm := rng.Perm(k)
+	active := append([]int(nil), perm[:n]...)
+	return active
+}
+
+// RoundMetrics records what happened in one communication round.
+type RoundMetrics struct {
+	// Round is the 1-based round index.
+	Round int
+	// GlobalAcc is the server global model's test accuracy (0 for
+	// algorithms without a global model).
+	GlobalAcc float64
+	// DeviceAcc holds each device's test accuracy.
+	DeviceAcc []float64
+	// MeanDeviceAcc is the mean of DeviceAcc.
+	MeanDeviceAcc float64
+	// Active lists the devices that participated this round.
+	Active []int
+	// BytesUp and BytesDown count payload bytes uploaded by and downloaded
+	// to devices this round.
+	BytesUp, BytesDown int64
+	// InputGradNorm is the mean ‖∇ₓL‖ observed during server distillation
+	// this round (Figure 2 instrumentation; 0 when not probed).
+	InputGradNorm float64
+	// Elapsed is the wall-clock duration of the round.
+	Elapsed time.Duration
+}
+
+// History is the per-round metrics trace of a full run.
+type History []RoundMetrics
+
+// FinalGlobalAcc returns the last round's global accuracy (0 if empty).
+func (h History) FinalGlobalAcc() float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].GlobalAcc
+}
+
+// FinalMeanDeviceAcc returns the last round's mean device accuracy.
+func (h History) FinalMeanDeviceAcc() float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].MeanDeviceAcc
+}
+
+// GlobalAccSeries extracts the global-accuracy learning curve.
+func (h History) GlobalAccSeries() []float64 {
+	out := make([]float64, len(h))
+	for i, m := range h {
+		out[i] = m.GlobalAcc
+	}
+	return out
+}
+
+// MeanDeviceAccSeries extracts the mean-device-accuracy learning curve.
+func (h History) MeanDeviceAccSeries() []float64 {
+	out := make([]float64, len(h))
+	for i, m := range h {
+		out[i] = m.MeanDeviceAcc
+	}
+	return out
+}
+
+// TotalBytes sums upload and download traffic over the run.
+func (h History) TotalBytes() (up, down int64) {
+	for _, m := range h {
+		up += m.BytesUp
+		down += m.BytesDown
+	}
+	return up, down
+}

@@ -1,0 +1,115 @@
+package fedzkt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/fedzkt/fedzkt/internal/nn"
+)
+
+// checkpoint is the gob wire form of a server checkpoint: the effective
+// config, the registered architectures, and every model's state dict.
+type checkpoint struct {
+	Version  int
+	Archs    []string
+	Global   []byte
+	Gen      []byte
+	Replicas [][]byte
+}
+
+// checkpointVersion guards against loading incompatible snapshots.
+const checkpointVersion = 1
+
+// SaveCheckpoint serialises the server's full learned state — global
+// model, generator, and every device replica — so a long federation can
+// be stopped and resumed. The configuration is not saved; the caller
+// reconstructs the server with NewServer and the same Config before
+// loading.
+func (s *Server) SaveCheckpoint(w io.Writer) error {
+	cp := checkpoint{Version: checkpointVersion, Archs: append([]string(nil), s.archs...)}
+	var err error
+	if cp.Global, err = nn.EncodeState(nn.CaptureState(s.global)); err != nil {
+		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
+	}
+	if cp.Gen, err = nn.EncodeState(nn.CaptureState(s.gen)); err != nil {
+		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
+	}
+	for i, r := range s.replicas {
+		b, err := nn.EncodeState(nn.CaptureState(r))
+		if err != nil {
+			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
+		}
+		cp.Replicas = append(cp.Replicas, b)
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("fedzkt: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a snapshot written by SaveCheckpoint into a
+// freshly constructed server. Devices not yet registered are registered
+// with their checkpointed architecture; already-registered devices must
+// match positionally.
+func (s *Server) LoadCheckpoint(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("fedzkt: reading checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("fedzkt: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if len(cp.Replicas) != len(cp.Archs) {
+		return fmt.Errorf("fedzkt: corrupt checkpoint: %d replicas for %d archs", len(cp.Replicas), len(cp.Archs))
+	}
+	if n := len(s.replicas); n > len(cp.Archs) {
+		return fmt.Errorf("fedzkt: server has %d devices but checkpoint has %d", n, len(cp.Archs))
+	}
+	for i, arch := range cp.Archs {
+		if i < len(s.replicas) {
+			if s.archs[i] != arch {
+				return fmt.Errorf("fedzkt: device %d architecture mismatch: %s vs checkpointed %s", i, s.archs[i], arch)
+			}
+			continue
+		}
+		if _, err := s.Register(arch, nil); err != nil {
+			return fmt.Errorf("fedzkt: restoring device %d: %w", i, err)
+		}
+	}
+	gsd, err := nn.DecodeState(cp.Global)
+	if err != nil {
+		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
+	}
+	if err := nn.LoadState(s.global, gsd); err != nil {
+		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
+	}
+	gensd, err := nn.DecodeState(cp.Gen)
+	if err != nil {
+		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
+	}
+	if err := nn.LoadState(s.gen, gensd); err != nil {
+		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
+	}
+	for i, b := range cp.Replicas {
+		sd, err := nn.DecodeState(b)
+		if err != nil {
+			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
+		}
+		if err := nn.LoadState(s.replicas[i], sd); err != nil {
+			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckpointBytes is a convenience wrapper returning the checkpoint as a
+// byte slice.
+func (s *Server) CheckpointBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,137 @@
+package fedzkt
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DistillIters = 3
+	srv, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"mlp", "lenet-s"} {
+		if _, err := srv.Register(arch, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move the server away from its initialisation so the checkpoint is
+	// nontrivial.
+	if _, err := srv.Distill(1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := srv.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh, empty server (same config → same shapes).
+	restored, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumDevices() != 2 {
+		t.Fatalf("restored %d devices, want 2", restored.NumDevices())
+	}
+	for _, pair := range []struct {
+		name string
+		a, b nn.StateDict
+	}{
+		{"global", nn.CaptureState(srv.Global()), nn.CaptureState(restored.Global())},
+		{"generator", nn.CaptureState(srv.Generator()), nn.CaptureState(restored.Generator())},
+	} {
+		for name, want := range pair.a {
+			if tensor.MaxAbsDiff(pair.b[name], want) != 0 {
+				t.Fatalf("%s state %q not restored bit-exactly", pair.name, name)
+			}
+		}
+	}
+	for id := 0; id < 2; id++ {
+		a, _ := srv.ReplicaState(id)
+		b, _ := restored.ReplicaState(id)
+		for name, want := range a {
+			if tensor.MaxAbsDiff(b[name], want) != 0 {
+				t.Fatalf("replica %d state %q not restored", id, name)
+			}
+		}
+	}
+}
+
+func TestCheckpointArchMismatch(t *testing.T) {
+	cfg := tinyConfig()
+	srv, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Register("mlp", nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := srv.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Register("cnn", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Fatal("want error for architecture mismatch")
+	}
+}
+
+func TestCheckpointCorrupt(t *testing.T) {
+	srv, err := NewServer(tinyConfig(), tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadCheckpoint(bytes.NewReader([]byte("nonsense"))); err == nil {
+		t.Fatal("want error for corrupt checkpoint")
+	}
+}
+
+// TestCheckpointResumeContinuesTraining: a restored server can keep
+// distilling — the checkpoint is operational state, not just weights.
+func TestCheckpointResumeContinuesTraining(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DistillIters = 2
+	srv, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Register("mlp", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Distill(1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := srv.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Distill(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range restored.Global().Params() {
+		if !p.Value().IsFinite() {
+			t.Fatal("restored server produced non-finite parameters")
+		}
+	}
+}

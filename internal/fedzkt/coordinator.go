@@ -1,0 +1,268 @@
+package fedzkt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Config parameterises a FedZKT run. Zero fields take the documented
+// defaults via withDefaults.
+type Config struct {
+	// Rounds is the number of communication rounds T.
+	Rounds int
+	// LocalEpochs is T_l, the local training epochs per round.
+	LocalEpochs int
+	// DistillIters is n_D, the server distillation iterations per phase
+	// per round (the paper uses n_G = n_S).
+	DistillIters int
+	// StudentSteps is the number of global-model (min) steps per
+	// generator (max) step in the adversarial phase. The paper's
+	// Algorithm 3 interleaves 1:1 with n_G = n_S = 200..500 iterations;
+	// at the scaled-down iteration budgets used here, a ratio > 1
+	// (as in data-free adversarial distillation practice) keeps the
+	// student from being outrun by the generator. Default 1 (faithful).
+	StudentSteps int
+	// DistillBatch is the generator/distillation batch size (paper: 256;
+	// scaled default 32).
+	DistillBatch int
+	// BatchSize is the device-side training batch size.
+	BatchSize int
+	// ZDim is the generator's noise dimensionality.
+	ZDim int
+	// DeviceLR, ServerLR are SGD learning rates (paper: 0.01).
+	DeviceLR, ServerLR float64
+	// GenLR is the generator's Adam learning rate (paper: 1e-3).
+	GenLR float64
+	// Momentum and WeightDecay apply to device-side SGD.
+	Momentum, WeightDecay float64
+	// Loss selects the zero-shot disagreement loss (default LossSL).
+	Loss LossKind
+	// ProxMu scales the ℓ2 proximal term of Eq. 9 (0 disables).
+	ProxMu float64
+	// ActiveFraction is the straggler parameter p: the fraction of
+	// devices participating each round (default 1).
+	ActiveFraction float64
+	// GlobalArch names the server model architecture (default "global").
+	GlobalArch string
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// ProbeGradNorm records the mean ‖∇ₓL‖ w.r.t. generated inputs each
+	// round (Figure 2 instrumentation).
+	ProbeGradNorm bool
+	// EvalEvery evaluates models every EvalEvery rounds (default 1);
+	// the final round is always evaluated.
+	EvalEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 2
+	}
+	if c.DistillIters == 0 {
+		c.DistillIters = 30
+	}
+	if c.StudentSteps == 0 {
+		c.StudentSteps = 1
+	}
+	if c.DistillBatch == 0 {
+		c.DistillBatch = 32
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.ZDim == 0 {
+		c.ZDim = 32
+	}
+	if c.DeviceLR == 0 {
+		c.DeviceLR = 0.01
+	}
+	if c.ServerLR == 0 {
+		c.ServerLR = 0.01
+	}
+	if c.GenLR == 0 {
+		c.GenLR = 1e-3
+	}
+	if c.Loss == 0 {
+		c.Loss = LossSL
+	}
+	if c.ActiveFraction == 0 {
+		c.ActiveFraction = 1
+	}
+	if c.GlobalArch == "" {
+		c.GlobalArch = "global"
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// Coordinator orchestrates an in-process FedZKT federation: the devices
+// plus the Server holding F, G and the replicas.
+type Coordinator struct {
+	cfg     Config
+	ds      *data.Dataset
+	devices []*fed.Device
+	server  *Server
+}
+
+// New builds a coordinator over dataset ds with one device per shard,
+// assigning architectures archs[i] (cycled if shorter than shards).
+func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("fedzkt: no device shards")
+	}
+	if len(archs) == 0 {
+		return nil, fmt.Errorf("fedzkt: no architectures")
+	}
+	if cfg.ActiveFraction < 0 || cfg.ActiveFraction > 1 {
+		return nil, fmt.Errorf("fedzkt: active fraction %v outside (0,1]", cfg.ActiveFraction)
+	}
+	in := model.Shape{C: ds.C, H: ds.H, W: ds.W}
+	server, err := NewServer(cfg, in, ds.Classes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, ds: ds, server: server}
+	for i := range shards {
+		arch := archs[i%len(archs)]
+		devModel, err := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
+		if err != nil {
+			return nil, fmt.Errorf("fedzkt: device %d: %w", i, err)
+		}
+		if len(shards[i]) == 0 {
+			return nil, fmt.Errorf("fedzkt: device %d has an empty shard", i)
+		}
+		dev := fed.NewDevice(i, arch, devModel, data.NewSubset(ds, shards[i]))
+		// Registration: the device announces its architecture and initial
+		// parameters; the server builds the matching replica.
+		id, err := server.Register(arch, nn.CaptureState(devModel))
+		if err != nil {
+			return nil, err
+		}
+		if id != i {
+			return nil, fmt.Errorf("fedzkt: device id mismatch: %d != %d", id, i)
+		}
+		c.devices = append(c.devices, dev)
+	}
+	return c, nil
+}
+
+// Devices exposes the coordinator's devices (read-only use intended).
+func (c *Coordinator) Devices() []*fed.Device { return c.devices }
+
+// Global exposes the server's global model F.
+func (c *Coordinator) Global() nn.Module { return c.server.Global() }
+
+// Generator exposes the server's generator G.
+func (c *Coordinator) Generator() *model.Generator { return c.server.Generator() }
+
+// Server exposes the server core (used by the networked runtime and
+// inspection tooling).
+func (c *Coordinator) Server() *Server { return c.server }
+
+// Run executes cfg.Rounds communication rounds (Algorithm 1) and returns
+// the per-round metrics history. ctx cancellation stops between rounds.
+func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
+	cfg := c.cfg
+	hist := make(fed.History, 0, cfg.Rounds)
+	roundRNG := tensor.NewRand(cfg.Seed + 99)
+	for round := 1; round <= cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
+		}
+		start := time.Now()
+		m := fed.RoundMetrics{Round: round}
+
+		// 1. Select the active devices (straggler model).
+		active := fed.SampleActive(len(c.devices), cfg.ActiveFraction, roundRNG)
+		m.Active = active
+
+		// 2. On-device updates in parallel (Algorithm 2), then upload.
+		if err := c.localPhase(round, active, &m); err != nil {
+			return hist, err
+		}
+
+		// 3. Server update (Algorithm 3).
+		gn, err := c.server.Distill(round)
+		if err != nil {
+			return hist, err
+		}
+		m.InputGradNorm = gn
+
+		// 4. Download: active devices receive their own updated
+		// parameters (stragglers keep stale models).
+		for _, id := range active {
+			sd, err := c.server.ReplicaState(id)
+			if err != nil {
+				return hist, err
+			}
+			if err := c.devices[id].Download(sd); err != nil {
+				return hist, err
+			}
+			m.BytesDown += int64(8 * sd.Numel())
+		}
+
+		// 5. Evaluate.
+		if round%cfg.EvalEvery == 0 || round == cfg.Rounds {
+			m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
+			m.DeviceAcc = fed.EvaluateAll(c.devices, c.ds, 64)
+			m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
+		}
+		m.Elapsed = time.Since(start)
+		hist = append(hist, m)
+	}
+	return hist, nil
+}
+
+// localPhase runs Algorithm 2 on every active device concurrently and
+// uploads the results into the server replicas.
+func (c *Coordinator) localPhase(round int, active []int, m *fed.RoundMetrics) error {
+	cfg := c.cfg
+	local := fed.LocalConfig{
+		Epochs:      cfg.LocalEpochs,
+		BatchSize:   cfg.BatchSize,
+		LR:          cfg.DeviceLR,
+		Momentum:    cfg.Momentum,
+		WeightDecay: cfg.WeightDecay,
+		ProxMu:      cfg.ProxMu,
+	}
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for pos, id := range active {
+		wg.Add(1)
+		go func(pos, id int) {
+			defer wg.Done()
+			rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<20 + uint64(id)<<4 + 0x5EED))
+			if _, err := c.devices[id].LocalUpdate(local, rng); err != nil {
+				errs[pos] = err
+			}
+		}(pos, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("fedzkt: local phase: %w", err)
+		}
+	}
+	for _, id := range active {
+		sd := c.devices[id].Upload()
+		if err := c.server.Absorb(id, sd); err != nil {
+			return fmt.Errorf("fedzkt: upload device %d: %w", id, err)
+		}
+		m.BytesUp += int64(8 * sd.Numel())
+	}
+	return nil
+}

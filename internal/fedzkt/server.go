@@ -1,0 +1,244 @@
+package fedzkt
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/optim"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Server is the FedZKT server side in isolation: the global model F, the
+// generator G, and one replica per registered device architecture. It
+// implements the two ServerUpdate phases of Algorithm 3 and is shared by
+// the in-process Coordinator and the networked transport binaries.
+type Server struct {
+	cfg Config
+	in  model.Shape
+	cls int
+
+	replicas    []nn.Module
+	replicaOpts []*optim.SGD
+	archs       []string
+
+	global      nn.Module
+	gen         *model.Generator
+	globalOpt   *optim.SGD
+	genOpt      *optim.Adam
+	globalSched *optim.MultiStepLR
+	genSched    *optim.MultiStepLR
+}
+
+// NewServer constructs the server side for a dataset signature (input
+// shape + class count). Devices are registered afterwards.
+func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
+	cfg = cfg.withDefaults()
+	global, err := model.Build(cfg.GlobalArch, in, classes, tensor.NewRand(cfg.Seed+7))
+	if err != nil {
+		return nil, fmt.Errorf("fedzkt: global model: %w", err)
+	}
+	s := &Server{
+		cfg:    cfg,
+		in:     in,
+		cls:    classes,
+		global: global,
+		gen:    model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
+	}
+	s.globalOpt = optim.NewSGD(global.Params(), cfg.ServerLR, 0.9, 0)
+	s.genOpt = optim.NewAdam(s.gen.Params(), cfg.GenLR)
+	totalIters := cfg.Rounds * cfg.DistillIters
+	s.globalSched = optim.PaperSchedule(s.globalOpt, totalIters)
+	s.genSched = optim.PaperSchedule(s.genOpt, totalIters)
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Global exposes the global model F.
+func (s *Server) Global() nn.Module { return s.global }
+
+// Generator exposes the generator G.
+func (s *Server) Generator() *model.Generator { return s.gen }
+
+// NumDevices returns the number of registered devices.
+func (s *Server) NumDevices() int { return len(s.replicas) }
+
+// Register adds a device with the given architecture and initial state,
+// returning its assigned id. The server builds its own replica of the
+// architecture and installs the device's initial parameters.
+func (s *Server) Register(arch string, initial nn.StateDict) (int, error) {
+	id := len(s.replicas)
+	replica, err := model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(1000+id)))
+	if err != nil {
+		return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
+	}
+	if initial != nil {
+		if err := nn.LoadState(replica, initial); err != nil {
+			return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
+		}
+	}
+	s.replicas = append(s.replicas, replica)
+	s.replicaOpts = append(s.replicaOpts, optim.NewSGD(replica.Params(), s.cfg.ServerLR, 0, 0))
+	s.archs = append(s.archs, arch)
+	return id, nil
+}
+
+// Absorb installs a device's uploaded parameters into its server replica.
+func (s *Server) Absorb(id int, upload nn.StateDict) error {
+	if id < 0 || id >= len(s.replicas) {
+		return fmt.Errorf("fedzkt: absorb: unknown device %d", id)
+	}
+	if err := nn.LoadState(s.replicas[id], upload); err != nil {
+		return fmt.Errorf("fedzkt: absorb device %d: %w", id, err)
+	}
+	return nil
+}
+
+// ReplicaState returns a deep copy of device id's replica parameters (the
+// download payload).
+func (s *Server) ReplicaState(id int) (nn.StateDict, error) {
+	if id < 0 || id >= len(s.replicas) {
+		return nil, fmt.Errorf("fedzkt: unknown device %d", id)
+	}
+	return nn.CaptureState(s.replicas[id]).Clone(), nil
+}
+
+// Distill runs both ServerUpdate phases of Algorithm 3 for one round:
+// adversarial zero-shot distillation into F, then transfer back into every
+// replica. It returns the mean per-sample ‖∇ₓL‖ when probing is enabled.
+func (s *Server) Distill(round int) (float64, error) {
+	if len(s.replicas) == 0 {
+		return 0, fmt.Errorf("fedzkt: distill with no registered devices")
+	}
+	gn := s.adversarialPhase(round)
+	s.transferBackPhase(round)
+	return gn, nil
+}
+
+// adversarialPhase is the first half of Algorithm 3: alternating generator
+// (max) and global model (min) steps on the disagreement loss.
+func (s *Server) adversarialPhase(round int) float64 {
+	cfg := s.cfg
+	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xADE))
+
+	// Teachers are fixed functions this round: frozen and in eval mode.
+	for _, r := range s.replicas {
+		nn.SetTrainable(r, false)
+		r.SetTraining(false)
+	}
+	defer func() {
+		for _, r := range s.replicas {
+			nn.SetTrainable(r, true)
+		}
+	}()
+	s.gen.SetTraining(true)
+
+	gradNormSum, gradNormCount := 0.0, 0
+
+	for it := 0; it < cfg.DistillIters; it++ {
+		// --- Generator step: maximise disagreement (lines 4-7). ---
+		// F is a fixed function during the adversary's move: frozen
+		// parameters and frozen batch-norm statistics, so the generator
+		// optimises a stationary objective and F's running statistics
+		// track only the batches F itself trains on.
+		nn.SetTrainable(s.global, false)
+		s.global.SetTraining(false)
+		z := ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
+		x := s.gen.Forward(z)
+		loss := s.disagreement(x)
+		lg := ag.Scale(-1, loss)
+		s.genOpt.ZeroGrad()
+		ag.Backward(lg)
+		if cfg.ProbeGradNorm && x.Grad() != nil {
+			// ‖∇ₓL‖ per sample; LG = −L so the norm is identical.
+			gradNormSum += tensor.Norm2(x.Grad()) / float64(cfg.DistillBatch)
+			gradNormCount++
+		}
+		s.genOpt.Step()
+		nn.SetTrainable(s.global, true)
+		s.global.SetTraining(true)
+
+		// --- Global model step(s): minimise disagreement (lines 9-12). ---
+		nn.SetTrainable(s.gen, false)
+		for st := 0; st < cfg.StudentSteps; st++ {
+			z = ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
+			x = s.gen.Forward(z)
+			loss = s.disagreement(x)
+			s.globalOpt.ZeroGrad()
+			ag.Backward(loss)
+			s.globalOpt.Step()
+		}
+		nn.SetTrainable(s.gen, true)
+
+		s.globalSched.Tick()
+		s.genSched.Tick()
+	}
+	if gradNormCount == 0 {
+		return 0
+	}
+	return gradNormSum / float64(gradNormCount)
+}
+
+// disagreement evaluates L(F(x), f_ens(x)) over the frozen replica
+// ensemble.
+func (s *Server) disagreement(x *ag.Variable) *ag.Variable {
+	student := s.global.Forward(x)
+	teachers := make([]*ag.Variable, len(s.replicas))
+	for i, r := range s.replicas {
+		teachers[i] = r.Forward(x)
+	}
+	return Disagreement(s.cfg.Loss, student, teachers)
+}
+
+// transferBackPhase is the second half of Algorithm 3 (lines 15-21):
+// distil the updated global model back into every replica using the
+// trained generator and the KL loss of Eq. 8.
+func (s *Server) transferBackPhase(round int) {
+	cfg := s.cfg
+	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xBAC))
+
+	// G and F are fixed teachers here.
+	nn.SetTrainable(s.gen, false)
+	nn.SetTrainable(s.global, false)
+	s.gen.SetTraining(false)
+	s.global.SetTraining(false)
+	defer func() {
+		nn.SetTrainable(s.gen, true)
+		nn.SetTrainable(s.global, true)
+		s.gen.SetTraining(true)
+		s.global.SetTraining(true)
+	}()
+	for _, r := range s.replicas {
+		r.SetTraining(true)
+	}
+
+	for it := 0; it < cfg.DistillIters; it++ {
+		x := s.gen.Forward(ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))).Value()
+		teacherProbs := ag.SoftmaxRows(s.global.Forward(ag.Const(x)).Value())
+
+		var wg sync.WaitGroup
+		for kIdx := range s.replicas {
+			wg.Add(1)
+			go func(kIdx int) {
+				defer wg.Done()
+				student := s.replicas[kIdx].Forward(ag.Const(x))
+				loss := DistillKL(teacherProbs, student)
+				s.replicaOpts[kIdx].ZeroGrad()
+				ag.Backward(loss)
+				s.replicaOpts[kIdx].Step()
+			}(kIdx)
+		}
+		wg.Wait()
+	}
+}
+
+// EvaluateGlobal reports F's test accuracy on ds.
+func (s *Server) EvaluateGlobal(ds *data.Dataset) float64 {
+	return fed.Evaluate(s.global, ds, 64)
+}

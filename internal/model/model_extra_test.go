@@ -1,0 +1,78 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// TestAllArchitecturesAt8x8 covers the scaled experiment image size used
+// by the default experiment scale.
+func TestAllArchitecturesAt8x8(t *testing.T) {
+	for _, name := range Names() {
+		for _, c := range []int{1, 3} {
+			in := Shape{C: c, H: 8, W: 8}
+			m, err := Build(name, in, 10, tensor.NewRand(1))
+			if err != nil {
+				t.Fatalf("%s at %v: %v", name, in, err)
+			}
+			y := m.Forward(ag.Const(tensor.New(1, c, 8, 8)))
+			if s := y.Shape(); s[1] != 10 {
+				t.Fatalf("%s at %v: output %v", name, in, s)
+			}
+		}
+	}
+}
+
+// TestGeneratorStateRoundTrip ensures the generator's full state (stem,
+// stem BN, decoder) serialises and restores exactly — the checkpointing
+// path depends on it.
+func TestGeneratorStateRoundTrip(t *testing.T) {
+	g1 := NewGenerator(16, Shape{C: 1, H: 8, W: 8}, tensor.NewRand(2))
+	g2 := NewGenerator(16, Shape{C: 1, H: 8, W: 8}, tensor.NewRand(99))
+	if err := nn.LoadState(g2, nn.CaptureState(g1)); err != nil {
+		t.Fatal(err)
+	}
+	g1.SetTraining(false)
+	g2.SetTraining(false)
+	z := g1.SampleZ(3, tensor.NewRand(3))
+	a := g1.Forward(ag.Const(z)).Value()
+	b := g2.Forward(ag.Const(z.Clone())).Value()
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("generators disagree after state transfer")
+	}
+}
+
+// TestGeneratorDeterministicSampling: same RNG seed, same synthetic batch.
+func TestGeneratorDeterministicSampling(t *testing.T) {
+	g := NewGenerator(8, Shape{C: 1, H: 8, W: 8}, tensor.NewRand(4))
+	g.SetTraining(false)
+	a := g.Generate(2, tensor.NewRand(5))
+	b := g.Generate(2, tensor.NewRand(5))
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("generation not deterministic under fixed seed")
+	}
+}
+
+// TestGeneratorRejectsBadShapes documents the contract.
+func TestGeneratorRejectsBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for indivisible spatial size")
+		}
+	}()
+	NewGenerator(8, Shape{C: 1, H: 10, W: 10}, tensor.NewRand(6))
+}
+
+// TestGeneratorRejectsWrongZDim documents the forward contract.
+func TestGeneratorRejectsWrongZDim(t *testing.T) {
+	g := NewGenerator(8, Shape{C: 1, H: 8, W: 8}, tensor.NewRand(7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for wrong z dimension")
+		}
+	}()
+	g.Forward(ag.Const(tensor.New(2, 9)))
+}

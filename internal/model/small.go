@@ -1,0 +1,85 @@
+package model
+
+import (
+	"math/rand/v2"
+
+	"github.com/fedzkt/fedzkt/internal/nn"
+)
+
+// buildMLP is the "Fully-Connected Model" of the small-dataset zoo:
+// Flatten → 256 → 128 → classes with ReLU.
+func buildMLP(in Shape, classes int, rng *rand.Rand) nn.Module {
+	return nn.NewSequential(
+		nn.Flatten{},
+		nn.NewLinear(in.Numel(), 256, true, rng),
+		nn.ReLU{},
+		nn.NewLinear(256, 128, true, rng),
+		nn.ReLU{},
+		nn.NewLinear(128, classes, true, rng),
+	)
+}
+
+// buildCNN is the "CNN model" of the small-dataset zoo: two conv/BN/pool
+// stages followed by a classifier head.
+func buildCNN(in Shape, classes int, rng *rand.Rand) nn.Module {
+	h4, w4 := in.H/4, in.W/4
+	return nn.NewSequential(
+		nn.NewConv2d(in.C, 16, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2d(16),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.NewConv2d(16, 32, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2d(32),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.Flatten{},
+		nn.NewLinear(32*h4*w4, classes, true, rng),
+	)
+}
+
+// buildLeNet is a LeNet-like architecture: two convolutional layers and
+// three fully-connected layers, parameterised by the channel and hidden
+// sizes to create the small/medium/large capacity variants.
+func buildLeNet(in Shape, classes int, rng *rand.Rand, c1, c2, hidden int) nn.Module {
+	h4, w4 := in.H/4, in.W/4
+	return nn.NewSequential(
+		nn.NewConv2d(in.C, c1, 5, 1, 2, true, rng),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.NewConv2d(c1, c2, 5, 1, 2, true, rng),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.Flatten{},
+		nn.NewLinear(c2*h4*w4, hidden, true, rng),
+		nn.ReLU{},
+		nn.NewLinear(hidden, hidden/2, true, rng),
+		nn.ReLU{},
+		nn.NewLinear(hidden/2, classes, true, rng),
+	)
+}
+
+// buildGlobal is the server's global model F: a deeper VGG-style CNN that
+// is larger than any on-device model, reflecting the paper's assumption of
+// a powerful server. Channel widths are chosen so a full distillation
+// round stays tractable on a single CPU core while F remains the largest
+// model in the federation.
+func buildGlobal(in Shape, classes int, rng *rand.Rand) nn.Module {
+	h4, w4 := in.H/4, in.W/4
+	return nn.NewSequential(
+		nn.NewConv2d(in.C, 24, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2d(24),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.NewConv2d(24, 48, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2d(48),
+		nn.ReLU{},
+		nn.MaxPool2d{K: 2, Stride: 2},
+		nn.NewConv2d(48, 48, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2d(48),
+		nn.ReLU{},
+		nn.Flatten{},
+		nn.NewLinear(48*h4*w4, 128, true, rng),
+		nn.ReLU{},
+		nn.NewLinear(128, classes, true, rng),
+	)
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"strconv"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// Sequential chains modules, feeding each one's output to the next.
+type Sequential struct {
+	mods []Module
+}
+
+// NewSequential builds a Sequential over the given modules.
+func NewSequential(mods ...Module) *Sequential {
+	return &Sequential{mods: append([]Module(nil), mods...)}
+}
+
+// Append adds more modules to the end of the chain.
+func (s *Sequential) Append(mods ...Module) { s.mods = append(s.mods, mods...) }
+
+// Len returns the number of child modules.
+func (s *Sequential) Len() int { return len(s.mods) }
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *ag.Variable) *ag.Variable {
+	for _, m := range s.mods {
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// Params implements Module.
+func (s *Sequential) Params() []*ag.Variable {
+	var ps []*ag.Variable
+	for _, m := range s.mods {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}
+
+// SetTraining implements Module.
+func (s *Sequential) SetTraining(t bool) {
+	for _, m := range s.mods {
+		m.SetTraining(t)
+	}
+}
+
+// VisitState implements Module; children are namespaced by their index.
+func (s *Sequential) VisitState(prefix string, fn func(string, *tensor.Tensor)) {
+	for i, m := range s.mods {
+		m.VisitState(join(prefix, strconv.Itoa(i)), fn)
+	}
+}

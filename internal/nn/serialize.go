@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// wireTensor is the gob wire form of a tensor.
+type wireTensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// wireState is the gob wire form of a state dict: parallel name/tensor
+// slices in sorted-name order so encoding is deterministic.
+type wireState struct {
+	Names   []string
+	Tensors []wireTensor
+}
+
+// EncodeState serializes a state dict to bytes (gob, deterministic order).
+func EncodeState(sd StateDict) ([]byte, error) {
+	names := sd.Names()
+	ws := wireState{Names: names, Tensors: make([]wireTensor, len(names))}
+	for i, n := range names {
+		t := sd[n]
+		ws.Tensors[i] = wireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ws); err != nil {
+		return nil, fmt.Errorf("nn: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState deserializes bytes produced by EncodeState.
+func DecodeState(b []byte) (StateDict, error) {
+	var ws wireState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ws); err != nil {
+		return nil, fmt.Errorf("nn: decoding state: %w", err)
+	}
+	if len(ws.Names) != len(ws.Tensors) {
+		return nil, fmt.Errorf("nn: corrupt state: %d names for %d tensors", len(ws.Names), len(ws.Tensors))
+	}
+	sd := make(StateDict, len(ws.Names))
+	for i, n := range ws.Names {
+		wt := ws.Tensors[i]
+		want := 1
+		for _, d := range wt.Shape {
+			if d <= 0 {
+				return nil, fmt.Errorf("nn: corrupt state %q: bad shape %v", n, wt.Shape)
+			}
+			want *= d
+		}
+		if want != len(wt.Data) {
+			return nil, fmt.Errorf("nn: corrupt state %q: shape %v does not match %d elements", n, wt.Shape, len(wt.Data))
+		}
+		if _, dup := sd[n]; dup {
+			return nil, fmt.Errorf("nn: corrupt state: duplicate name %q", n)
+		}
+		sd[n] = tensor.FromSlice(wt.Data, wt.Shape...)
+	}
+	return sd, nil
+}

@@ -1,0 +1,118 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// quadLoss builds loss = Σ (w - target)² for a fresh graph each step.
+func quadLoss(w *ag.Variable, target *tensor.Tensor) *ag.Variable {
+	d := ag.Sub(w, ag.Const(target))
+	return ag.SumAll(ag.Mul(d, d))
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	w := ag.Param(tensor.Full(5, 4))
+	target := tensor.FromSlice([]float64{1, -2, 3, 0.5}, 4)
+	opt := NewSGD([]*ag.Variable{w}, 0.1, 0, 0)
+	for i := 0; i < 200; i++ {
+		opt.ZeroGrad()
+		ag.Backward(quadLoss(w, target))
+		opt.Step()
+	}
+	if d := tensor.MaxAbsDiff(w.Value(), target); d > 1e-6 {
+		t.Fatalf("SGD did not converge: max|Δ|=%g", d)
+	}
+}
+
+func TestSGDMomentumFasterThanPlain(t *testing.T) {
+	run := func(momentum float64) float64 {
+		w := ag.Param(tensor.Full(5, 2))
+		target := tensor.FromSlice([]float64{0, 0}, 2)
+		opt := NewSGD([]*ag.Variable{w}, 0.01, momentum, 0)
+		for i := 0; i < 50; i++ {
+			opt.ZeroGrad()
+			ag.Backward(quadLoss(w, target))
+			opt.Step()
+		}
+		return tensor.Norm2(w.Value())
+	}
+	plain, mom := run(0), run(0.9)
+	if mom >= plain {
+		t.Fatalf("momentum (%g) should beat plain SGD (%g) on a quadratic", mom, plain)
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	w := ag.Param(tensor.Full(1, 3))
+	opt := NewSGD([]*ag.Variable{w}, 0.1, 0, 0.5)
+	// Zero gradient: only the decay term acts.
+	g := tensor.New(3)
+	ag.Backward(ag.SumAll(ag.Mul(w, ag.Const(g)))) // grads = 0
+	opt.Step()
+	for _, v := range w.Value().Data() {
+		if math.Abs(v-0.95) > 1e-12 {
+			t.Fatalf("weight after decay = %v, want 0.95", v)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	w := ag.Param(tensor.Full(-3, 5))
+	target := tensor.FromSlice([]float64{2, -1, 0, 4, 1}, 5)
+	opt := NewAdam([]*ag.Variable{w}, 0.1)
+	for i := 0; i < 500; i++ {
+		opt.ZeroGrad()
+		ag.Backward(quadLoss(w, target))
+		opt.Step()
+	}
+	if d := tensor.MaxAbsDiff(w.Value(), target); d > 1e-3 {
+		t.Fatalf("Adam did not converge: max|Δ|=%g", d)
+	}
+}
+
+func TestAdamHandlesSparseNilGrads(t *testing.T) {
+	w1 := ag.Param(tensor.Full(1, 2))
+	w2 := ag.Param(tensor.Full(1, 2)) // never used in the loss
+	opt := NewAdam([]*ag.Variable{w1, w2}, 0.01)
+	ag.Backward(ag.SumAll(w1))
+	opt.Step() // must not panic on w2's nil grad
+	if w2.Value().Data()[0] != 1 {
+		t.Fatal("parameter without gradient must not move")
+	}
+}
+
+func TestMultiStepLRMilestones(t *testing.T) {
+	w := ag.Param(tensor.New(1))
+	opt := NewSGD([]*ag.Variable{w}, 1.0, 0, 0)
+	sched := NewMultiStepLR(opt, []int{2, 4}, 0.3)
+	lrs := make([]float64, 0, 5)
+	for i := 0; i < 5; i++ {
+		sched.Tick()
+		lrs = append(lrs, opt.LR())
+	}
+	want := []float64{1.0, 0.3, 0.3, 0.09, 0.09}
+	for i, w := range want {
+		if math.Abs(lrs[i]-w) > 1e-12 {
+			t.Fatalf("lrs = %v, want %v", lrs, want)
+		}
+	}
+}
+
+func TestPaperSchedule(t *testing.T) {
+	w := ag.Param(tensor.New(1))
+	opt := NewSGD([]*ag.Variable{w}, 0.01, 0, 0)
+	sched := PaperSchedule(opt, 200)
+	for i := 0; i < 200; i++ {
+		sched.Tick()
+		switch {
+		case i+1 < 100 && opt.LR() != 0.01:
+			t.Fatalf("step %d: lr=%g, want 0.01", i+1, opt.LR())
+		case i+1 >= 150 && math.Abs(opt.LR()-0.01*0.09) > 1e-15:
+			t.Fatalf("step %d: lr=%g, want %g", i+1, opt.LR(), 0.01*0.09)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// mkLabels builds n labels cycling over numClasses.
+func mkLabels(n, numClasses int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % numClasses
+	}
+	return labels
+}
+
+// checkDisjointCover verifies the fundamental partition invariants: shards
+// are disjoint and their union covers a subset of [0,n) without repeats.
+func checkDisjointCover(t *testing.T, shards [][]int, n int, wantFull bool) {
+	t.Helper()
+	seen := make(map[int]bool)
+	total := 0
+	for _, shard := range shards {
+		for _, i := range shard {
+			if i < 0 || i >= n {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d appears in two shards", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if wantFull && total != n {
+		t.Fatalf("partition covers %d of %d samples", total, n)
+	}
+}
+
+func TestIIDInvariants(t *testing.T) {
+	rng := tensor.NewRand(1)
+	shards := IID(103, 10, rng)
+	checkDisjointCover(t, shards, 103, true)
+	for i, s := range shards {
+		if len(s) < 10 || len(s) > 11 {
+			t.Fatalf("shard %d has %d samples, want 10 or 11", i, len(s))
+		}
+	}
+}
+
+func TestIIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < k")
+		}
+	}()
+	IID(3, 10, tensor.NewRand(1))
+}
+
+func TestQuantitySkewClassesPerDevice(t *testing.T) {
+	const n, numClasses, k, cpd = 1000, 10, 10, 3
+	labels := mkLabels(n, numClasses)
+	rng := tensor.NewRand(2)
+	shards := QuantitySkew(labels, numClasses, k, cpd, rng)
+	checkDisjointCover(t, shards, n, true)
+	for dev, shard := range shards {
+		classes := make(map[int]bool)
+		for _, i := range shard {
+			classes[labels[i]] = true
+		}
+		if len(classes) != cpd {
+			t.Fatalf("device %d holds %d classes, want %d", dev, len(classes), cpd)
+		}
+	}
+}
+
+func TestQuantitySkewCoversAllClassesWhenPossible(t *testing.T) {
+	// k*cpd = 20 >= 10 classes: every class must be held somewhere.
+	labels := mkLabels(500, 10)
+	shards := QuantitySkew(labels, 10, 10, 2, tensor.NewRand(3))
+	held := make(map[int]bool)
+	for _, shard := range shards {
+		for _, i := range shard {
+			held[labels[i]] = true
+		}
+	}
+	if len(held) != 10 {
+		t.Fatalf("only %d of 10 classes assigned", len(held))
+	}
+	checkDisjointCover(t, shards, 500, true)
+}
+
+func TestQuantitySkewProperty(t *testing.T) {
+	f := func(seed uint64, k8, cpd8 uint8) bool {
+		k := int(k8%15) + 2
+		cpd := int(cpd8%5) + 1
+		const numClasses = 10
+		labels := mkLabels(40*numClasses, numClasses)
+		shards := QuantitySkew(labels, numClasses, k, cpd, tensor.NewRand(seed))
+		seen := make(map[int]bool)
+		for dev, shard := range shards {
+			classes := make(map[int]bool)
+			for _, i := range shard {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				classes[labels[i]] = true
+			}
+			if len(classes) > cpd {
+				return false
+			}
+			_ = dev
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletInvariantsAndSkew(t *testing.T) {
+	const n, numClasses, k = 2000, 10, 10
+	labels := mkLabels(n, numClasses)
+
+	shardsSkew := Dirichlet(labels, numClasses, k, 0.1, tensor.NewRand(4))
+	checkDisjointCover(t, shardsSkew, n, true)
+	shardsFlat := Dirichlet(labels, numClasses, k, 100, tensor.NewRand(4))
+	checkDisjointCover(t, shardsFlat, n, true)
+
+	// Measure label imbalance as the mean per-device entropy of the label
+	// distribution; small β must yield lower entropy than large β.
+	entropy := func(shards [][]int) float64 {
+		total := 0.0
+		for _, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			counts := make([]float64, numClasses)
+			for _, i := range shard {
+				counts[labels[i]]++
+			}
+			h := 0.0
+			for _, c := range counts {
+				if c > 0 {
+					p := c / float64(len(shard))
+					h -= p * math.Log(p)
+				}
+			}
+			total += h
+		}
+		return total / float64(len(shards))
+	}
+	hSkew, hFlat := entropy(shardsSkew), entropy(shardsFlat)
+	if hSkew >= hFlat-0.3 {
+		t.Fatalf("β=0.1 entropy %.3f not clearly below β=100 entropy %.3f", hSkew, hFlat)
+	}
+}
+
+func TestDirichletNoEmptyDevices(t *testing.T) {
+	labels := mkLabels(300, 10)
+	for seed := uint64(0); seed < 20; seed++ {
+		shards := Dirichlet(labels, 10, 15, 0.1, tensor.NewRand(seed))
+		for dev, shard := range shards {
+			if len(shard) == 0 {
+				t.Fatalf("seed %d: device %d empty", seed, dev)
+			}
+		}
+		checkDisjointCover(t, shards, 300, true)
+	}
+}
+
+func TestDirichletPanicsOnBadBeta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for beta <= 0")
+		}
+	}()
+	Dirichlet(mkLabels(10, 2), 2, 2, 0, tensor.NewRand(1))
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	// Gamma(shape,1) has mean == shape and variance == shape.
+	rng := tensor.NewRand(9)
+	for _, shape := range []float64{0.3, 1.0, 4.5} {
+		const n = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := gammaSample(shape, rng)
+			if x <= 0 {
+				t.Fatalf("gamma sample %v not positive", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Fatalf("shape %v: mean %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.25*shape+0.1 {
+			t.Fatalf("shape %v: variance %v", shape, variance)
+		}
+	}
+}
+
+func TestPartitionsDeterministic(t *testing.T) {
+	labels := mkLabels(500, 10)
+	a := Dirichlet(labels, 10, 8, 0.5, tensor.NewRand(42))
+	b := Dirichlet(labels, 10, 8, 0.5, tensor.NewRand(42))
+	for dev := range a {
+		if len(a[dev]) != len(b[dev]) {
+			t.Fatal("same seed produced different partitions")
+		}
+		for i := range a[dev] {
+			if a[dev][i] != b[dev][i] {
+				t.Fatal("same seed produced different partitions")
+			}
+		}
+	}
+}

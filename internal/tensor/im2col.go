@@ -1,0 +1,98 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution over an
+// input of size in with kernel k, stride and padding. It panics if the
+// configuration yields a non-positive output.
+func ConvOutSize(in, k, stride, pad int) int {
+	if stride <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive stride %d", stride))
+	}
+	out := (in+2*pad-k)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output size %d for in=%d k=%d stride=%d pad=%d", out, in, k, stride, pad))
+	}
+	return out
+}
+
+// Im2Col expands one image (c×h×w, row-major in src) into a column matrix
+// of shape (c*kh*kw)×(oh*ow) written row-major into dst, where oh and ow
+// are the convolution output sizes. Elements read from the zero padding
+// region are 0. dst must have length c*kh*kw*oh*ow.
+func Im2Col(src []float64, c, h, w, kh, kw, stride, pad int, dst []float64) {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(src) != c*h*w {
+		panic(fmt.Sprintf("tensor: Im2Col src length %d, want %d", len(src), c*h*w))
+	}
+	if len(dst) != c*kh*kw*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), c*kh*kw*oh*ow))
+	}
+	di := 0
+	for cc := 0; cc < c; cc++ {
+		chanBase := cc * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = src[rowBase+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column
+// matrix of shape (c*kh*kw)×(oh*ow) back into an image buffer dst of
+// length c*h*w. dst is accumulated into, not overwritten, so callers can
+// sum contributions across batches.
+func Col2Im(col []float64, c, h, w, kh, kw, stride, pad int, dst []float64) {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(dst) != c*h*w {
+		panic(fmt.Sprintf("tensor: Col2Im dst length %d, want %d", len(dst), c*h*w))
+	}
+	if len(col) != c*kh*kw*oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im col length %d, want %d", len(col), c*kh*kw*oh*ow))
+	}
+	si := 0
+	for cc := 0; cc < c; cc++ {
+		chanBase := cc * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowBase := chanBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							dst[rowBase+ix] += col[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds before a matmul
+// is split across goroutines; below this the goroutine overhead dominates.
+const parallelThreshold = 1 << 17
+
+// MatMul returns the matrix product a·b, where a is (m×k) and b is (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	m, ka := mat2(a, "MatMul lhs")
+	kb, n := mat2(b, "MatMul rhs")
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, ka, n)
+	return out
+}
+
+// MatMulTransA returns aᵀ·b where a is (k×m) and b is (k×n); the result is
+// (m×n). Used by backward passes (dW = Xᵀ·dY).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := mat2(a, "MatMulTransA lhs")
+	kb, n := mat2(b, "MatMulTransA rhs")
+	if k != kb {
+		panic(fmt.Sprintf("tensor: MatMulTransA dimension mismatch: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := a.data[kk*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a·bᵀ where a is (m×k) and b is (n×k); the result is
+// (m×n). Used by backward passes (dX = dY·Wᵀ).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := mat2(a, "MatMulTransB lhs")
+	n, kb := mat2(b, "MatMulTransB rhs")
+	if k != kb {
+		panic(fmt.Sprintf("tensor: MatMulTransB dimension mismatch: %v vs %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := mat2(a, "Transpose")
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+func mat2(t *Tensor, what string) (rows, cols int) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s wants a 2-D tensor, got shape %v", what, t.shape))
+	}
+	return t.shape[0], t.shape[1]
+}
+
+// matMulInto computes out += a·b with the classic cache-friendly i-k-j
+// ordering, parallelised across row blocks when the problem is large.
+func matMulInto(out, a, b []float64, m, k, n int) {
+	parallelRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// ParallelFor runs fn over [0,n) split into contiguous chunks across
+// GOMAXPROCS goroutines when n*workPerItem exceeds an internal threshold;
+// otherwise it runs serially. fn must be safe to run concurrently on
+// disjoint ranges. It is used to spread convolution batches across cores.
+func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
+	parallelRows(n, workPerItem, fn)
+}
+
+// parallelRows runs fn over [0,rows) split into contiguous chunks across
+// GOMAXPROCS goroutines when rows*workPerRow exceeds parallelThreshold;
+// otherwise it runs fn serially. fn must be safe to run concurrently on
+// disjoint ranges.
+func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
+	if rows <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows*workPerRow < parallelThreshold {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch: %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v * b.data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	checkSame("Div", a, b)
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v / b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Tensor) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// AddInto accumulates src into dst: dst += src.
+func AddInto(dst, src *Tensor) {
+	checkSame("AddInto", dst, src)
+	for i, v := range src.data {
+		dst.data[i] += v
+	}
+}
+
+// AxpyInto computes dst += alpha*src.
+func AxpyInto(dst *Tensor, alpha float64, src *Tensor) {
+	checkSame("AxpyInto", dst, src)
+	for i, v := range src.data {
+		dst.data[i] += alpha * v
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func ScaleInPlace(t *Tensor, s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func Sum(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *Tensor) float64 { return Sum(a) / float64(len(a.data)) }
+
+// Max returns the maximum element.
+func Max(a *Tensor) float64 {
+	m := math.Inf(-1)
+	for _, v := range a.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func Min(a *Tensor) float64 {
+	m := math.Inf(1)
+	for _, v := range a.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm of a.
+func Norm2(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the sum of absolute values of a.
+func Norm1(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	checkSame("Dot", a, b)
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}
+
+// MaxAbsDiff returns max_i |a_i - b_i|, useful in tests.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	checkSame("MaxAbsDiff", a, b)
+	m := 0.0
+	for i, v := range a.data {
+		if d := math.Abs(v - b.data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ArgmaxRows treats a as a (rows x cols) matrix and returns, for each row,
+// the column index of its maximum element. The tensor must be 2-D.
+func ArgmaxRows(a *Tensor) []int {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows wants a 2-D tensor, got shape %v", a.shape))
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best, bi := math.Inf(-1), 0
+		row := a.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			if v > best {
+				best, bi = v, c
+			}
+		}
+		out[r] = bi
+	}
+	return out
+}
+
+// SumRows treats a as (rows x cols) and returns a length-cols tensor with
+// the per-column sums (i.e. it reduces over rows).
+func SumRows(a *Tensor) *Tensor {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SumRows wants a 2-D tensor, got shape %v", a.shape))
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		row := a.data[r*cols : (r+1)*cols]
+		for c, v := range row {
+			out.data[c] += v
+		}
+	}
+	return out
+}

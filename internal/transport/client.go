@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// DeviceConfig configures a networked FedZKT device.
+type DeviceConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Arch is the on-device architecture this device chooses for itself
+	// (the heart of FedZKT: the server adapts, not the device).
+	Arch string
+	// DialTimeout bounds the initial connection attempt.
+	DialTimeout time.Duration
+	// IOTimeout bounds each read or write.
+	IOTimeout time.Duration
+	// Progress, when non-nil, receives a line per round (for the CLI).
+	Progress func(round int, trainLoss float64)
+}
+
+func (c DeviceConfig) withDefaults() DeviceConfig {
+	if c.Arch == "" {
+		c.Arch = "cnn"
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// RunDevice connects to the server, registers, and participates in the
+// federated rounds until the server sends MsgDone or ctx is cancelled. It
+// returns the device's final model and its shard-local view of the data
+// (useful for post-run evaluation by the caller).
+func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset, error) {
+	cfg = cfg.withDefaults()
+	dialer := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	deadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.IOTimeout)) }
+
+	// 1. Hello → Welcome: learn the assignment.
+	deadline()
+	if err := WriteMessage(conn, &Message{Type: MsgHello, Arch: cfg.Arch}); err != nil {
+		return nil, nil, err
+	}
+	welcome, err := expect(conn, MsgWelcome)
+	if err != nil {
+		return nil, nil, err
+	}
+	asn, err := DecodeAssignment(welcome.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// 2. Reconstruct the local world: dataset (synthetic and seeded, so no
+	// bulk data crosses the wire), shard, and model.
+	ds, ok := data.ByName(asn.DatasetName, asn.Sizes, asn.DataSeed)
+	if !ok {
+		return nil, nil, fmt.Errorf("transport: server assigned unknown dataset %q", asn.DatasetName)
+	}
+	m, err := model.Build(cfg.Arch, model.Shape{C: ds.C, H: ds.H, W: ds.W}, ds.Classes, tensor.NewRand(asn.ModelSeed))
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := fed.NewDevice(welcome.DeviceID, cfg.Arch, m, data.NewSubset(ds, asn.Indices))
+
+	// 3. Send the initial state for replica registration.
+	initPayload, err := nn.EncodeState(nn.CaptureState(m))
+	if err != nil {
+		return nil, nil, err
+	}
+	deadline()
+	if err := WriteMessage(conn, &Message{Type: MsgInitState, DeviceID: welcome.DeviceID, Payload: initPayload}); err != nil {
+		return nil, nil, err
+	}
+
+	// 4. Round loop: train on request, upload, absorb the download.
+	for {
+		deadline()
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return m, ds, fmt.Errorf("transport: device cancelled: %w", ctx.Err())
+			}
+			return m, ds, err
+		}
+		switch msg.Type {
+		case MsgTrainRequest:
+			rng := tensor.NewRand(asn.DataSeed ^ (uint64(msg.Round)<<20 + uint64(welcome.DeviceID)<<4 + 0x5EED))
+			loss, err := dev.LocalUpdate(asn.Local, rng)
+			if err != nil {
+				_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
+				return m, ds, err
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(msg.Round, loss)
+			}
+			payload, err := nn.EncodeState(dev.Upload())
+			if err != nil {
+				return m, ds, err
+			}
+			deadline()
+			if err := WriteMessage(conn, &Message{Type: MsgUpload, Round: msg.Round, DeviceID: welcome.DeviceID, Payload: payload}); err != nil {
+				return m, ds, err
+			}
+		case MsgDownload:
+			sd, err := nn.DecodeState(msg.Payload)
+			if err != nil {
+				return m, ds, err
+			}
+			if err := dev.Download(sd); err != nil {
+				return m, ds, err
+			}
+		case MsgDone:
+			return m, ds, nil
+		case MsgError:
+			return m, ds, fmt.Errorf("transport: server error: %s", msg.Reason)
+		default:
+			return m, ds, fmt.Errorf("transport: unexpected message %v", msg.Type)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package transport implements the wire protocol between a FedZKT server
+// and its devices: length-prefixed gob frames over any net.Conn, plus a
+// TCP server and device client that run the full Algorithm 1 round loop
+// across machine boundaries. The in-process simulator and the networked
+// runtime share the same fedzkt.Server core, so the protocol carries
+// exactly the payloads the paper describes: architecture announcements
+// upstream, on-device parameters in both directions.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types, in the order they normally flow.
+const (
+	// MsgHello (device→server) announces the device's architecture.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome (server→device) assigns the device id and its data-shard
+	// assignment (the dataset is synthetic and reconstructed locally from
+	// the seed, so only indices travel).
+	MsgWelcome
+	// MsgInitState (device→server) carries the device's initial
+	// parameters for replica registration.
+	MsgInitState
+	// MsgTrainRequest (server→device) starts one local training round.
+	MsgTrainRequest
+	// MsgUpload (device→server) carries locally trained parameters.
+	MsgUpload
+	// MsgDownload (server→device) carries the distilled parameters.
+	MsgDownload
+	// MsgDone (server→device) ends the session.
+	MsgDone
+	// MsgError (either direction) aborts with a reason.
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgInitState:
+		return "init-state"
+	case MsgTrainRequest:
+		return "train-request"
+	case MsgUpload:
+		return "upload"
+	case MsgDownload:
+		return "download"
+	case MsgDone:
+		return "done"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is the protocol envelope.
+type Message struct {
+	Type     MsgType
+	Round    int
+	DeviceID int
+	Arch     string
+	// Reason carries the error description for MsgError.
+	Reason string
+	// Payload carries an encoded state dict (MsgInitState, MsgUpload,
+	// MsgDownload) or an encoded Assignment (MsgWelcome).
+	Payload []byte
+}
+
+// Assignment tells a device how to reconstruct its local view of the
+// experiment: the synthetic dataset spec, its private shard, and the local
+// training configuration.
+type Assignment struct {
+	DatasetName string
+	Sizes       data.Sizes
+	DataSeed    uint64
+	Indices     []int
+	Local       fed.LocalConfig
+	Rounds      int
+	// ModelSeed seeds the device's model initialisation so server replica
+	// and device start identically.
+	ModelSeed uint64
+}
+
+// EncodeAssignment serialises an Assignment for MsgWelcome.
+func EncodeAssignment(a *Assignment) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return nil, fmt.Errorf("transport: encoding assignment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAssignment parses a MsgWelcome payload.
+func DecodeAssignment(b []byte) (*Assignment, error) {
+	var a Assignment
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("transport: decoding assignment: %w", err)
+	}
+	return &a, nil
+}
+
+// DefaultMaxMessage bounds a frame to 64 MiB, far above any model payload
+// in this repository but small enough to fail fast on corrupt prefixes.
+const DefaultMaxMessage = 64 << 20
+
+// ErrMessageTooLarge reports a frame exceeding the size limit.
+var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
+
+// WriteMessage writes one length-prefixed gob frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		return fmt.Errorf("transport: encoding %v message: %w", m.Type, err)
+	}
+	if body.Len() > DefaultMaxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, body.Len())
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(body.Len()))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("transport: writing frame prefix: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("transport: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one length-prefixed gob frame, rejecting frames larger
+// than DefaultMaxMessage.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, fmt.Errorf("transport: reading frame prefix: %w", err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > DefaultMaxMessage {
+		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	return &m, nil
+}
+
+// expect reads a message and verifies its type, surfacing MsgError bodies
+// as errors.
+func expect(r io.Reader, want MsgType) (*Message, error) {
+	m, err := ReadMessage(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == MsgError {
+		return nil, fmt.Errorf("transport: peer error: %s", m.Reason)
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("transport: expected %v, got %v", want, m.Type)
+	}
+	return m, nil
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/partition"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// ServerConfig configures a networked FedZKT server.
+type ServerConfig struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7700"; port 0 picks
+	// an ephemeral port, readable via Server.Addr).
+	Addr string
+	// NumDevices is how many device registrations to wait for before
+	// starting round 1.
+	NumDevices int
+	// Fed is the FedZKT algorithm configuration.
+	Fed fedzkt.Config
+	// DatasetName picks one of the named synthetic datasets.
+	DatasetName string
+	// Sizes are the per-class sample counts.
+	Sizes data.Sizes
+	// IOTimeout bounds each read or write on a device connection.
+	IOTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.NumDevices == 0 {
+		c.NumDevices = 2
+	}
+	if c.DatasetName == "" {
+		c.DatasetName = "synthmnist"
+	}
+	if c.Sizes == (data.Sizes{}) {
+		c.Sizes = data.DefaultSizes
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server runs the federated round loop over real network connections,
+// reusing the same fedzkt.Server core as the in-process simulator.
+type Server struct {
+	cfg  ServerConfig
+	ds   *data.Dataset
+	core *fedzkt.Server
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// NewServer builds the server and starts listening; call Run to serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ds, ok := data.ByName(cfg.DatasetName, cfg.Sizes, cfg.Fed.Seed)
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown dataset %q", cfg.DatasetName)
+	}
+	core, err := fedzkt.NewServer(cfg.Fed, model.Shape{C: ds.C, H: ds.H, W: ds.W}, ds.Classes)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	}
+	return &Server{cfg: cfg, ds: ds, core: core, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener and all device connections.
+func (s *Server) Close() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+}
+
+// Run accepts cfg.NumDevices registrations, executes the full round loop,
+// and returns the per-round history. It closes all connections on return.
+// ctx cancellation aborts the accept loop and the round loop.
+func (s *Server) Run(ctx context.Context) (fed.History, error) {
+	defer s.Close()
+
+	stop := context.AfterFunc(ctx, func() { _ = s.ln.Close() })
+	defer stop()
+
+	cfg := s.cfg.withDefaults()
+	fedCfg := s.core.Config()
+
+	// Deterministic shard assignment, mirroring the simulator.
+	shards := partition.IID(s.ds.NumTrain(), cfg.NumDevices, tensor.NewRand(fedCfg.Seed+21))
+
+	// Registration: Hello → Welcome(+assignment) → InitState.
+	for i := 0; i < cfg.NumDevices; i++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("transport: accept cancelled: %w", ctx.Err())
+			}
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		if err := s.register(conn, i, shards[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Round loop.
+	hist := make(fed.History, 0, fedCfg.Rounds)
+	roundRNG := tensor.NewRand(fedCfg.Seed + 99)
+	for round := 1; round <= fedCfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return hist, fmt.Errorf("transport: cancelled at round %d: %w", round, err)
+		}
+		start := time.Now()
+		m := fed.RoundMetrics{Round: round}
+		active := fed.SampleActive(cfg.NumDevices, fedCfg.ActiveFraction, roundRNG)
+		m.Active = active
+
+		// Kick off local training on the active devices.
+		for _, id := range active {
+			if err := s.send(id, &Message{Type: MsgTrainRequest, Round: round, DeviceID: id}); err != nil {
+				return hist, err
+			}
+		}
+		// Collect uploads.
+		for _, id := range active {
+			up, err := s.recv(id, MsgUpload)
+			if err != nil {
+				return hist, fmt.Errorf("transport: upload from device %d: %w", id, err)
+			}
+			sd, err := nn.DecodeState(up.Payload)
+			if err != nil {
+				return hist, err
+			}
+			if err := s.core.Absorb(id, sd); err != nil {
+				return hist, err
+			}
+			m.BytesUp += int64(len(up.Payload))
+		}
+
+		// Server-side distillation.
+		gn, err := s.core.Distill(round)
+		if err != nil {
+			return hist, err
+		}
+		m.InputGradNorm = gn
+
+		// Ship the distilled parameters back to the active devices.
+		for _, id := range active {
+			sd, err := s.core.ReplicaState(id)
+			if err != nil {
+				return hist, err
+			}
+			payload, err := nn.EncodeState(sd)
+			if err != nil {
+				return hist, err
+			}
+			if err := s.send(id, &Message{Type: MsgDownload, Round: round, DeviceID: id, Payload: payload}); err != nil {
+				return hist, err
+			}
+			m.BytesDown += int64(len(payload))
+		}
+
+		m.GlobalAcc = s.core.EvaluateGlobal(s.ds)
+		m.Elapsed = time.Since(start)
+		hist = append(hist, m)
+	}
+
+	// Graceful shutdown.
+	for id := 0; id < cfg.NumDevices; id++ {
+		_ = s.send(id, &Message{Type: MsgDone, DeviceID: id})
+	}
+	return hist, nil
+}
+
+// register performs the three-way registration handshake on conn.
+func (s *Server) register(conn net.Conn, id int, shard []int) error {
+	cfg := s.cfg
+	fedCfg := s.core.Config()
+	if err := conn.SetDeadline(time.Now().Add(cfg.IOTimeout)); err != nil {
+		return fmt.Errorf("transport: deadline: %w", err)
+	}
+	hello, err := expect(conn, MsgHello)
+	if err != nil {
+		return fmt.Errorf("transport: registration of device %d: %w", id, err)
+	}
+	assignment, err := EncodeAssignment(&Assignment{
+		DatasetName: cfg.DatasetName,
+		Sizes:       cfg.Sizes,
+		DataSeed:    fedCfg.Seed,
+		Indices:     shard,
+		Local: fed.LocalConfig{
+			Epochs:      fedCfg.LocalEpochs,
+			BatchSize:   fedCfg.BatchSize,
+			LR:          fedCfg.DeviceLR,
+			Momentum:    fedCfg.Momentum,
+			WeightDecay: fedCfg.WeightDecay,
+			ProxMu:      fedCfg.ProxMu,
+		},
+		Rounds:    fedCfg.Rounds,
+		ModelSeed: fedCfg.Seed + uint64(1000+id),
+	})
+	if err != nil {
+		return err
+	}
+	if err := WriteMessage(conn, &Message{Type: MsgWelcome, DeviceID: id, Payload: assignment}); err != nil {
+		return err
+	}
+	init, err := expect(conn, MsgInitState)
+	if err != nil {
+		return fmt.Errorf("transport: init state of device %d: %w", id, err)
+	}
+	sd, err := nn.DecodeState(init.Payload)
+	if err != nil {
+		return err
+	}
+	got, err := s.core.Register(hello.Arch, sd)
+	if err != nil {
+		return err
+	}
+	if got != id {
+		return fmt.Errorf("transport: device id mismatch: %d != %d", got, id)
+	}
+	return nil
+}
+
+func (s *Server) conn(id int) (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.conns) {
+		return nil, fmt.Errorf("transport: no connection for device %d", id)
+	}
+	return s.conns[id], nil
+}
+
+func (s *Server) send(id int, m *Message) error {
+	conn, err := s.conn(id)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+		return fmt.Errorf("transport: deadline: %w", err)
+	}
+	return WriteMessage(conn, m)
+}
+
+func (s *Server) recv(id int, want MsgType) (*Message, error) {
+	conn, err := s.conn(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout)); err != nil {
+		return nil, fmt.Errorf("transport: deadline: %w", err)
+	}
+	return expect(conn, want)
+}
