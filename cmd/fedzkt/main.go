@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/experiments"
@@ -33,6 +35,11 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		csvDir   = fs.String("csv", "", "directory to also write per-artefact CSV files into")
 		list     = fs.Bool("list", false, "list available experiments and exit")
+
+		devices  = fs.String("devices", "", "federation size(s): one int for every experiment, or a comma-separated sweep for -exp scale (e.g. 100,1000)")
+		sampleK  = fs.Int("sample-k", 0, "sample exactly K clients per round (uniform-K; 0 keeps each experiment's policy)")
+		deadline = fs.Duration("round-deadline", 0, "per-round wall-clock budget; late devices are dropped from aggregation (0 = none)")
+		workers  = fs.Int("workers", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +60,20 @@ func run(args []string) error {
 	}
 	params := experiments.ParamsFor(scale)
 	params.Seed = *seed
+	params.SampleK = *sampleK
+	params.RoundDeadline = *deadline
+	params.Workers = *workers
+	if *devices != "" {
+		counts, err := parseDevices(*devices)
+		if err != nil {
+			return err
+		}
+		if len(counts) > 1 && *expID != "scale" {
+			return fmt.Errorf("-devices with multiple values (%s) is only meaningful for -exp scale; other experiments take a single federation size", *devices)
+		}
+		params.Devices = counts[0]
+		params.ScaleDevices = counts
+	}
 
 	var selected []experiments.Experiment
 	if *expID == "all" {
@@ -81,6 +102,21 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseDevices parses the -devices flag: one or more comma-separated
+// positive device counts.
+func parseDevices(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -devices value %q (want positive ints, e.g. 100,1000)", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func writeCSVs(dir string, res *experiments.Result) error {

@@ -73,3 +73,38 @@ func TestFacadeZoosAndLosses(t *testing.T) {
 		t.Fatal("loss kinds must be distinct")
 	}
 }
+
+// TestFacadeDeviceScaleScheduler drives the scheduler knobs through the
+// public Config: uniform-K partial participation, a bounded worker pool
+// and failure injection, over more devices than any realistic core count.
+func TestFacadeDeviceScaleScheduler(t *testing.T) {
+	ds := data.MustMake(fedzkt.DataConfig{
+		Name: "facade-scale", Family: data.FamilyDigits, Classes: 3,
+		C: 1, H: 8, W: 8, TrainPerClass: 40, TestPerClass: 6, Seed: 17,
+	})
+	const devices = 60
+	shards := fedzkt.PartitionIID(ds.NumTrain(), devices, 18)
+	co, err := fedzkt.New(fedzkt.Config{
+		Rounds: 1, LocalEpochs: 1, DistillIters: 2, StudentSteps: 1,
+		DistillBatch: 8, BatchSize: 8, ZDim: 8,
+		DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Seed: 17,
+		SampleK: 10, Workers: 4, FailureRate: 0.2,
+	}, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := hist[0]
+	if len(m.Active) != 10 {
+		t.Fatalf("sampled %d devices, want 10", len(m.Active))
+	}
+	if got := len(m.Active) - len(m.Injected) - len(m.Dropped); got < 1 {
+		t.Fatalf("no device completed the round: %+v", m)
+	}
+	if fp := hist.Fingerprint(); fp == "" {
+		t.Fatal("empty history fingerprint")
+	}
+}

@@ -8,9 +8,23 @@
 //	co, err := fedzkt.New(fedzkt.Config{Rounds: 10}, ds, archs, shards)
 //	hist, err := co.Run(ctx)
 //
+// Rounds execute on the sharded device-scale scheduler (internal/sched),
+// so a federation can simulate far more devices than CPU cores. The
+// scheduler is configured through Config fields — Workers (pool size),
+// SampleK / SampleWeighted (client-sampling policy), RoundDeadline
+// (stragglers are dropped from aggregation), FailureRate (deterministic
+// failure injection) and Sequential (the reference scheduler). With no
+// RoundDeadline set, results are bit-identical for any worker count
+// (a deadline makes straggler survival wall-clock-dependent by design):
+//
+//	co, err := fedzkt.New(fedzkt.Config{
+//		Rounds: 2, SampleK: 32, Workers: 8, FailureRate: 0.05,
+//	}, ds, archs, shards) // e.g. 1,000 shards — see examples/scale
+//
 // The full machinery lives in the internal packages (documented in
 // DESIGN.md): internal/fedzkt (Algorithms 1 & 3), internal/fed (device
-// runtime), internal/model (the heterogeneous model zoo and generator),
+// runtime), internal/sched (the round scheduler and sampling policies),
+// internal/model (the heterogeneous model zoo and generator),
 // internal/data (synthetic datasets), internal/partition (IID / label-skew
 // partitioners), internal/baseline (FedMD, FedAvg, standalone bounds),
 // internal/transport (networked federation), and internal/experiments

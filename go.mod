@@ -1,0 +1,3 @@
+module github.com/fedzkt/fedzkt
+
+go 1.22

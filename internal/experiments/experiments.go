@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/fedzkt/fedzkt/internal/baseline"
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -69,6 +70,19 @@ type Params struct {
 	BatchSize int
 	// Seed drives every run; experiments offset it per cell.
 	Seed uint64
+
+	// Workers bounds every federation's scheduler pool (0 = GOMAXPROCS);
+	// set by the -workers flag.
+	Workers int
+	// SampleK, when positive, makes every federation sample exactly K
+	// clients per round (uniform-K); set by the -sample-k flag.
+	SampleK int
+	// RoundDeadline drops devices that miss the per-round wall-clock
+	// budget from aggregation; set by the -round-deadline flag.
+	RoundDeadline time.Duration
+	// ScaleDevices overrides the scale experiment's device-count sweep
+	// (set by the -devices flag; nil uses the per-scale defaults).
+	ScaleDevices []int
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -190,6 +204,10 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		GenLR:        3e-4,
 		Momentum:     0.9,
 		Seed:         p.Seed + seedOffset,
+
+		Workers:       p.Workers,
+		SampleK:       p.SampleK,
+		RoundDeadline: p.RoundDeadline,
 	}
 }
 
@@ -279,6 +297,7 @@ func All() []Experiment {
 		{ID: "fig7", Title: "Figure 7: device-count sweep (MNIST & CIFAR-10, IID)", Run: Fig7},
 		{ID: "commbytes", Title: "Ablation: per-round communication, FedZKT vs FedMD", Run: CommBytes},
 		{ID: "gensweep", Title: "Ablation: distillation iterations and z-dimension", Run: GeneratorSweep},
+		{ID: "scale", Title: "Scaling: device-count sweep on the sharded round scheduler", Run: ScaleSweep},
 	}
 }
 

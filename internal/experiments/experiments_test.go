@@ -170,3 +170,37 @@ func TestSmokeTable4(t *testing.T) {
 		t.Fatalf("table4 shape wrong: %+v", res.Tables[0].Rows)
 	}
 }
+
+// TestSmokeScale checks the device-count scaling scenario: every sweep
+// point must produce a full accounting row, and the custom-sweep override
+// must be honoured.
+func TestSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiment in -short mode")
+	}
+	p := ParamsFor(ScaleSmoke)
+	p.ScaleDevices = []int{6, 16}
+	p.SampleK = 4
+	res, err := ScaleSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("scale sweep rows = %d, want 2", len(rows))
+	}
+	for i, want := range []string{"6", "16"} {
+		if rows[i][0] != want {
+			t.Fatalf("row %d devices = %s, want %s", i, rows[i][0], want)
+		}
+		if rows[i][1] != "uniform-4" {
+			t.Fatalf("row %d policy = %s, want uniform-4", i, rows[i][1])
+		}
+		if !strings.HasSuffix(rows[i][7], "%") || !strings.HasSuffix(rows[i][8], "%") {
+			t.Fatalf("row %d accuracy cells not rendered: %v", i, rows[i])
+		}
+	}
+	if _, err := ScaleSweep(Params{Scale: ScaleSmoke, ScaleDevices: []int{0}}); err == nil {
+		t.Fatal("ScaleSweep accepted a zero device count")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/sched"
 )
 
 // Evaluate computes a model's top-1 accuracy on the dataset's test split,
@@ -38,12 +39,20 @@ func Evaluate(m nn.Module, ds *data.Dataset, batchSize int) float64 {
 	return float64(correct) / float64(n)
 }
 
-// EvaluateAll returns the test accuracy of every device's model.
+// EvaluateAll returns the test accuracy of every device's model,
+// evaluating devices concurrently on up to GOMAXPROCS workers.
 func EvaluateAll(devices []*Device, ds *data.Dataset, batchSize int) []float64 {
+	return EvaluateAllParallel(devices, ds, batchSize, 0)
+}
+
+// EvaluateAllParallel is EvaluateAll with an explicit worker bound
+// (0 means GOMAXPROCS). Each device's model is evaluated independently,
+// so the result is identical for any worker count.
+func EvaluateAllParallel(devices []*Device, ds *data.Dataset, batchSize, workers int) []float64 {
 	accs := make([]float64, len(devices))
-	for i, d := range devices {
-		accs[i] = Evaluate(d.Model, ds, batchSize)
-	}
+	sched.ForEach(len(devices), workers, func(i int) {
+		accs[i] = Evaluate(devices[i].Model, ds, batchSize)
+	})
 	return accs
 }
 

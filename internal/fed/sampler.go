@@ -3,30 +3,26 @@ package fed
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
+	"strings"
 	"time"
+
+	"github.com/fedzkt/fedzkt/internal/sched"
 )
 
 // SampleActive selects the active device subset for one communication
-// round: a uniformly random ⌈p·k⌉-sized subset of [0,k), modelling the
-// straggler experiments where only a portion p of devices participates.
-// At least one device is always selected.
+// round: a uniformly random round(p·k)-sized subset of [0,k) in
+// ascending order, modelling the straggler experiments where only a
+// portion p of devices participates. At least one device is always
+// selected. It is the sched.Fraction policy behind the original
+// panic-on-misuse contract, kept so baselines and the networked
+// transport share one straggler model with the coordinator.
 func SampleActive(k int, p float64, rng *rand.Rand) []int {
-	if k <= 0 {
-		panic(fmt.Sprintf("fed: SampleActive with k=%d", k))
+	s, err := sched.NewFraction(p)
+	if err != nil {
+		panic(fmt.Sprintf("fed: %v", err))
 	}
-	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("fed: active fraction %v outside [0,1]", p))
-	}
-	n := int(p*float64(k) + 0.5)
-	if n < 1 {
-		n = 1
-	}
-	if n > k {
-		n = k
-	}
-	perm := rng.Perm(k)
-	active := append([]int(nil), perm[:n]...)
-	return active
+	return s.Sample(k, rng)
 }
 
 // RoundMetrics records what happened in one communication round.
@@ -40,8 +36,14 @@ type RoundMetrics struct {
 	DeviceAcc []float64
 	// MeanDeviceAcc is the mean of DeviceAcc.
 	MeanDeviceAcc float64
-	// Active lists the devices that participated this round.
+	// Active lists the devices sampled for this round.
 	Active []int
+	// Dropped lists sampled devices that missed the round deadline
+	// (stragglers excluded from aggregation but keeping local progress).
+	Dropped []int
+	// Injected lists sampled devices lost to scheduler failure injection
+	// this round (their local phase never ran).
+	Injected []int
 	// BytesUp and BytesDown count payload bytes uploaded by and downloaded
 	// to devices this round.
 	BytesUp, BytesDown int64
@@ -88,6 +90,34 @@ func (h History) MeanDeviceAccSeries() []float64 {
 	}
 	return out
 }
+
+// Fingerprint renders the deterministic fields of every round — indices,
+// participation sets, byte counts, accuracies and gradient norms, but not
+// wall-clock durations — into a canonical string. Two runs of the same
+// seeded configuration must produce byte-identical fingerprints whatever
+// the scheduler's worker count; the determinism golden tests compare
+// exactly this.
+func (h History) Fingerprint() string {
+	var b strings.Builder
+	for _, m := range h {
+		fmt.Fprintf(&b, "round=%d active=%v dropped=%v injected=%v up=%d down=%d",
+			m.Round, m.Active, m.Dropped, m.Injected, m.BytesUp, m.BytesDown)
+		fmt.Fprintf(&b, " global=%s mean=%s gradnorm=%s dev=[",
+			canonFloat(m.GlobalAcc), canonFloat(m.MeanDeviceAcc), canonFloat(m.InputGradNorm))
+		for i, a := range m.DeviceAcc {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(canonFloat(a))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// canonFloat formats a float with full round-trip precision so that any
+// bit-level divergence shows up in the fingerprint.
+func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // TotalBytes sums upload and download traffic over the run.
 func (h History) TotalBytes() (up, down int64) {

@@ -3,13 +3,13 @@ package fedzkt
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/sched"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
@@ -48,8 +48,28 @@ type Config struct {
 	// ProxMu scales the ℓ2 proximal term of Eq. 9 (0 disables).
 	ProxMu float64
 	// ActiveFraction is the straggler parameter p: the fraction of
-	// devices participating each round (default 1).
+	// devices participating each round (default 1). Ignored when SampleK
+	// is set.
 	ActiveFraction float64
+	// SampleK, when positive, selects exactly min(SampleK, devices)
+	// participants per round (uniform-K partial participation, the
+	// device-scale regime), overriding ActiveFraction.
+	SampleK int
+	// SampleWeighted, with SampleK, weights client selection by shard
+	// size instead of sampling uniformly.
+	SampleWeighted bool
+	// Workers bounds the round scheduler's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Sequential runs device tasks inline on the caller's goroutine —
+	// the reference scheduler the determinism tests compare against.
+	Sequential bool
+	// RoundDeadline is the wall-clock budget of each round's local phase;
+	// devices that have not finished when it expires are dropped from
+	// that round's aggregation (0 disables).
+	RoundDeadline time.Duration
+	// FailureRate injects per-device-round failures with this
+	// probability, deterministically in (Seed, round, device).
+	FailureRate float64
 	// GlobalArch names the server model architecture (default "global").
 	GlobalArch string
 	// Seed drives all randomness in the run.
@@ -108,13 +128,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// poolWorkers is the worker bound for the run's parallel-for loops
+// (server transfer-back, evaluation): 1 when the reference sequential
+// scheduler is requested, else the configured pool size.
+func (c Config) poolWorkers() int {
+	if c.Sequential {
+		return 1
+	}
+	return c.Workers
+}
+
 // Coordinator orchestrates an in-process FedZKT federation: the devices
-// plus the Server holding F, G and the replicas.
+// plus the Server holding F, G and the replicas. Rounds execute on a
+// sharded scheduler (internal/sched), so the federation can simulate
+// N ≫ NumCPU devices with bounded concurrency.
 type Coordinator struct {
 	cfg     Config
 	ds      *data.Dataset
 	devices []*fed.Device
 	server  *Server
+	pool    *sched.Pool
+	sampler sched.Sampler
 }
 
 // New builds a coordinator over dataset ds with one device per shard,
@@ -130,12 +164,32 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	if cfg.ActiveFraction < 0 || cfg.ActiveFraction > 1 {
 		return nil, fmt.Errorf("fedzkt: active fraction %v outside (0,1]", cfg.ActiveFraction)
 	}
+	if cfg.SampleK < 0 {
+		return nil, fmt.Errorf("fedzkt: negative SampleK %d", cfg.SampleK)
+	}
+	// Validate the scheduler configuration before the expensive device
+	// build: at device scale, constructing a thousand models just to
+	// reject a bad option would waste seconds.
+	sampler, err := buildSampler(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := sched.NewPool(sched.Options{
+		Workers:       cfg.Workers,
+		Sequential:    cfg.Sequential,
+		RoundDeadline: cfg.RoundDeadline,
+		FailureRate:   cfg.FailureRate,
+		FailureSeed:   cfg.Seed ^ 0xFA117A1E,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fedzkt: %w", err)
+	}
 	in := model.Shape{C: ds.C, H: ds.H, W: ds.W}
 	server, err := NewServer(cfg, in, ds.Classes)
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, ds: ds, server: server}
+	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler}
 	for i := range shards {
 		arch := archs[i%len(archs)]
 		devModel, err := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
@@ -160,6 +214,38 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	return c, nil
 }
 
+// buildSampler selects the client-sampling policy from the config:
+// uniform-K or weighted-by-data when SampleK is set, otherwise the
+// paper's active-fraction straggler model.
+func buildSampler(cfg Config, shards [][]int) (sched.Sampler, error) {
+	if cfg.SampleK > 0 {
+		if cfg.SampleWeighted {
+			weights := make([]int, len(shards))
+			for i, s := range shards {
+				weights[i] = len(s)
+			}
+			s, err := sched.NewWeightedByData(weights, cfg.SampleK)
+			if err != nil {
+				return nil, fmt.Errorf("fedzkt: %w", err)
+			}
+			return s, nil
+		}
+		s, err := sched.NewUniformK(cfg.SampleK)
+		if err != nil {
+			return nil, fmt.Errorf("fedzkt: %w", err)
+		}
+		return s, nil
+	}
+	if cfg.SampleWeighted {
+		return nil, fmt.Errorf("fedzkt: SampleWeighted requires SampleK > 0")
+	}
+	s, err := sched.NewFraction(cfg.ActiveFraction)
+	if err != nil {
+		return nil, fmt.Errorf("fedzkt: %w", err)
+	}
+	return s, nil
+}
+
 // Devices exposes the coordinator's devices (read-only use intended).
 func (c *Coordinator) Devices() []*fed.Device { return c.devices }
 
@@ -172,6 +258,12 @@ func (c *Coordinator) Generator() *model.Generator { return c.server.Generator()
 // Server exposes the server core (used by the networked runtime and
 // inspection tooling).
 func (c *Coordinator) Server() *Server { return c.server }
+
+// Pool exposes the round scheduler's pool (for its cumulative stats).
+func (c *Coordinator) Pool() *sched.Pool { return c.pool }
+
+// Sampler exposes the client-sampling policy in effect.
+func (c *Coordinator) Sampler() sched.Sampler { return c.sampler }
 
 // Run executes cfg.Rounds communication rounds (Algorithm 1) and returns
 // the per-round metrics history. ctx cancellation stops between rounds.
@@ -186,13 +278,19 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		start := time.Now()
 		m := fed.RoundMetrics{Round: round}
 
-		// 1. Select the active devices (straggler model).
-		active := fed.SampleActive(len(c.devices), cfg.ActiveFraction, roundRNG)
+		// 1. Select this round's participants (client-sampling policy).
+		active := c.sampler.Sample(len(c.devices), roundRNG)
 		m.Active = active
 
-		// 2. On-device updates in parallel (Algorithm 2), then upload.
-		if err := c.localPhase(round, active, &m); err != nil {
+		// 2. On-device updates on the scheduler (Algorithm 2), then
+		// upload. Devices that miss the deadline or are failure-injected
+		// drop out of this round's aggregation.
+		completed, err := c.localPhase(ctx, round, active, &m)
+		if err != nil {
 			return hist, err
+		}
+		if err := ctx.Err(); err != nil {
+			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
 		}
 
 		// 3. Server update (Algorithm 3).
@@ -202,9 +300,9 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		}
 		m.InputGradNorm = gn
 
-		// 4. Download: active devices receive their own updated
-		// parameters (stragglers keep stale models).
-		for _, id := range active {
+		// 4. Download: devices that completed the round receive their own
+		// updated parameters (stragglers keep stale models).
+		for _, id := range completed {
 			sd, err := c.server.ReplicaState(id)
 			if err != nil {
 				return hist, err
@@ -218,7 +316,7 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		// 5. Evaluate.
 		if round%cfg.EvalEvery == 0 || round == cfg.Rounds {
 			m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
-			m.DeviceAcc = fed.EvaluateAll(c.devices, c.ds, 64)
+			m.DeviceAcc = fed.EvaluateAllParallel(c.devices, c.ds, 64, cfg.poolWorkers())
 			m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
 		}
 		m.Elapsed = time.Since(start)
@@ -227,9 +325,12 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 	return hist, nil
 }
 
-// localPhase runs Algorithm 2 on every active device concurrently and
-// uploads the results into the server replicas.
-func (c *Coordinator) localPhase(round int, active []int, m *fed.RoundMetrics) error {
+// localPhase runs Algorithm 2 on every sampled device via the sharded
+// scheduler, uploads the survivors into the server replicas, and returns
+// the device ids that completed within the round. Each task touches only
+// its own device, so the round's outcome is identical for any worker
+// count.
+func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m *fed.RoundMetrics) ([]int, error) {
 	cfg := c.cfg
 	local := fed.LocalConfig{
 		Epochs:      cfg.LocalEpochs,
@@ -239,30 +340,34 @@ func (c *Coordinator) localPhase(round int, active []int, m *fed.RoundMetrics) e
 		WeightDecay: cfg.WeightDecay,
 		ProxMu:      cfg.ProxMu,
 	}
-	errs := make([]error, len(active))
-	var wg sync.WaitGroup
+	tasks := make([]sched.Task, len(active))
 	for pos, id := range active {
-		wg.Add(1)
-		go func(pos, id int) {
-			defer wg.Done()
+		id := id
+		tasks[pos] = sched.Task{Device: id, Run: func(context.Context) error {
 			rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<20 + uint64(id)<<4 + 0x5EED))
-			if _, err := c.devices[id].LocalUpdate(local, rng); err != nil {
-				errs[pos] = err
-			}
-		}(pos, id)
+			_, err := c.devices[id].LocalUpdate(local, rng)
+			return err
+		}}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return fmt.Errorf("fedzkt: local phase: %w", err)
+	completed := make([]int, 0, len(active))
+	for _, r := range c.pool.RunRound(ctx, round, tasks) {
+		switch r.Status {
+		case sched.StatusCompleted:
+			completed = append(completed, r.Device)
+		case sched.StatusDropped:
+			m.Dropped = append(m.Dropped, r.Device)
+		case sched.StatusInjected:
+			m.Injected = append(m.Injected, r.Device)
+		case sched.StatusFailed:
+			return nil, fmt.Errorf("fedzkt: local phase device %d: %w", r.Device, r.Err)
 		}
 	}
-	for _, id := range active {
+	for _, id := range completed {
 		sd := c.devices[id].Upload()
 		if err := c.server.Absorb(id, sd); err != nil {
-			return fmt.Errorf("fedzkt: upload device %d: %w", id, err)
+			return nil, fmt.Errorf("fedzkt: upload device %d: %w", id, err)
 		}
 		m.BytesUp += int64(8 * sd.Numel())
 	}
-	return nil
+	return completed, nil
 }

@@ -1,0 +1,128 @@
+package fedzkt
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/partition"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// goldenConfig is the fixed-seed configuration of the determinism golden
+// test: small enough to run many times, but exercising partial
+// participation (uniform-K sampling) and deterministic failure injection
+// so the scheduler's bookkeeping is part of the fingerprint.
+func goldenConfig() Config {
+	return Config{
+		Rounds:       2,
+		LocalEpochs:  1,
+		DistillIters: 3,
+		StudentSteps: 1,
+		DistillBatch: 8,
+		BatchSize:    8,
+		ZDim:         8,
+		DeviceLR:     0.05,
+		ServerLR:     0.05,
+		GenLR:        3e-4,
+		Momentum:     0.9,
+		Seed:         1234,
+		SampleK:      4,
+		FailureRate:  0.2,
+	}
+}
+
+// goldenRun executes one fixed-seed federation and returns its history
+// fingerprint.
+func goldenRun(t *testing.T, mutate func(*Config)) string {
+	t.Helper()
+	ds := data.MustMake(data.Config{
+		Name: "golden", Family: data.FamilyDigits, Classes: 3,
+		C: 1, H: 8, W: 8, TrainPerClass: 12, TestPerClass: 6, Seed: 55,
+	})
+	shards := partition.IID(ds.NumTrain(), 6, tensor.NewRand(56))
+	cfg := goldenConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co, err := New(cfg, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hist.Fingerprint()
+}
+
+// TestSchedulerDeterminismGolden is the golden determinism test: a short
+// fixed-seed FedZKT run must produce byte-identical round metrics under
+// the sequential reference scheduler and under the parallel pool at every
+// worker count. Any hidden cross-device state — a shared RNG, a data
+// race, order-dependent aggregation — breaks this immediately.
+func TestSchedulerDeterminismGolden(t *testing.T) {
+	ref := goldenRun(t, func(c *Config) { c.Sequential = true })
+	if ref == "" {
+		t.Fatal("empty reference fingerprint")
+	}
+	workerCounts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4, 8}
+	}
+	for _, w := range workerCounts {
+		w := w
+		got := goldenRun(t, func(c *Config) { c.Workers = w })
+		if got != ref {
+			t.Fatalf("workers=%d fingerprint diverges from sequential reference:\n--- sequential ---\n%s--- workers=%d ---\n%s", w, ref, w, got)
+		}
+	}
+}
+
+// TestSchedulerDeterminismRepeatable pins the weaker but independent
+// property that two identical parallel runs agree with each other (a
+// wall-clock or map-iteration dependence would already break this).
+func TestSchedulerDeterminismRepeatable(t *testing.T) {
+	a := goldenRun(t, func(c *Config) { c.Workers = 4; c.SampleWeighted = true })
+	b := goldenRun(t, func(c *Config) { c.Workers = 4; c.SampleWeighted = true })
+	if a != b {
+		t.Fatalf("repeat run diverged:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestFailureInjectionSurfacesInMetrics checks that the injected-failure
+// bookkeeping reaches the history and that injected devices are excluded
+// from aggregation accounting.
+func TestFailureInjectionSurfacesInMetrics(t *testing.T) {
+	ds := data.MustMake(data.Config{
+		Name: "inj", Family: data.FamilyDigits, Classes: 3,
+		C: 1, H: 8, W: 8, TrainPerClass: 10, TestPerClass: 5, Seed: 90,
+	})
+	shards := partition.IID(ds.NumTrain(), 8, tensor.NewRand(91))
+	cfg := goldenConfig()
+	cfg.Rounds = 4
+	cfg.SampleK = 8
+	cfg.FailureRate = 0.45
+	cfg.Seed = 77
+	co, err := New(cfg, ds, []string{"mlp"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for _, m := range hist {
+		injected += len(m.Injected)
+		if completed := len(m.Active) - len(m.Injected) - len(m.Dropped); completed > 0 && m.BytesUp == 0 {
+			t.Fatalf("round %d: %d completed devices but no uploaded bytes", m.Round, completed)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("failure rate 0.45 over 32 device-rounds injected nothing")
+	}
+	if got := co.Pool().Stats().Injected.Load(); got != int64(injected) {
+		t.Fatalf("pool stats injected=%d, history says %d", got, injected)
+	}
+}

@@ -2,7 +2,6 @@ package fedzkt
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -10,6 +9,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/optim"
+	"github.com/fedzkt/fedzkt/internal/sched"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
@@ -222,19 +222,17 @@ func (s *Server) transferBackPhase(round int) {
 		x := s.gen.Forward(ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))).Value()
 		teacherProbs := ag.SoftmaxRows(s.global.Forward(ag.Const(x)).Value())
 
-		var wg sync.WaitGroup
-		for kIdx := range s.replicas {
-			wg.Add(1)
-			go func(kIdx int) {
-				defer wg.Done()
-				student := s.replicas[kIdx].Forward(ag.Const(x))
-				loss := DistillKL(teacherProbs, student)
-				s.replicaOpts[kIdx].ZeroGrad()
-				ag.Backward(loss)
-				s.replicaOpts[kIdx].Step()
-			}(kIdx)
-		}
-		wg.Wait()
+		// One independent distillation step per replica, bounded to the
+		// configured worker count so a 1,000-device federation does not
+		// spawn 1,000 goroutines (and to a single goroutine under the
+		// reference sequential scheduler).
+		sched.ForEach(len(s.replicas), cfg.poolWorkers(), func(kIdx int) {
+			student := s.replicas[kIdx].Forward(ag.Const(x))
+			loss := DistillKL(teacherProbs, student)
+			s.replicaOpts[kIdx].ZeroGrad()
+			ag.Backward(loss)
+			s.replicaOpts[kIdx].Step()
+		})
 	}
 }
 

@@ -43,6 +43,9 @@ func unseenClassAccuracy(d *fed.Device) float64 {
 // knowledge of them — accuracy on unseen classes well above the ~0 of
 // isolated training.
 func TestZeroShotTransferToUnseenClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zero-shot transfer needs full-length rounds; skipped in -short mode")
+	}
 	ds := tinyDataset(77)
 	shards := partition.QuantitySkew(ds.TrainY, ds.Classes, 4, 2, tensor.NewRand(78))
 	cfg := tinyConfig()

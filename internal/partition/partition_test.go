@@ -222,3 +222,120 @@ func TestPartitionsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestDirichletEdgeCases is the table-driven edge matrix for the
+// Dirichlet partitioner: alpha extremes, fewer samples than shards, and
+// device counts around the sample count. Every case must preserve the
+// disjoint-cover invariant; the per-case check pins the distributional
+// property.
+func TestDirichletEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, classes int
+		k          int
+		beta       float64
+		check      func(t *testing.T, shards [][]int)
+	}{
+		{
+			name: "tiny alpha concentrates classes", n: 200, classes: 4, k: 4, beta: 1e-6,
+			check: func(t *testing.T, shards [][]int) {
+				// With β→0 each class lands almost entirely on one device:
+				// the biggest shard should hold roughly a whole class share
+				// or more.
+				max := 0
+				for _, s := range shards {
+					if len(s) > max {
+						max = len(s)
+					}
+				}
+				if max < 200/4 {
+					t.Fatalf("beta=1e-6: largest shard %d, want >= one class (50)", max)
+				}
+			},
+		},
+		{
+			name: "huge alpha approaches uniform", n: 400, classes: 4, k: 4, beta: 1e6,
+			check: func(t *testing.T, shards [][]int) {
+				for i, s := range shards {
+					if len(s) < 60 || len(s) > 140 {
+						t.Fatalf("beta=1e6: shard %d has %d of 400 samples, want near 100", i, len(s))
+					}
+				}
+			},
+		},
+		{
+			name: "fewer samples than shards", n: 5, classes: 5, k: 12, beta: 0.5,
+			check: func(t *testing.T, shards [][]int) {
+				// 5 samples cannot feed 12 devices; some stay empty but no
+				// sample may be lost or duplicated (checkDisjointCover) and
+				// non-empty shards hold at least one sample.
+				nonEmpty := 0
+				for _, s := range shards {
+					if len(s) > 0 {
+						nonEmpty++
+					}
+				}
+				if nonEmpty == 0 || nonEmpty > 5 {
+					t.Fatalf("non-empty shards = %d, want in [1,5]", nonEmpty)
+				}
+			},
+		},
+		{
+			name: "one sample per device boundary", n: 8, classes: 2, k: 8, beta: 1,
+			check: func(t *testing.T, shards [][]int) {},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			shards := Dirichlet(mkLabels(c.n, c.classes), c.classes, c.k, c.beta, tensor.NewRand(99))
+			if len(shards) != c.k {
+				t.Fatalf("got %d shards, want %d", len(shards), c.k)
+			}
+			checkDisjointCover(t, shards, c.n, true)
+			c.check(t, shards)
+		})
+	}
+}
+
+// TestQuantitySkewEdgeCases is the table-driven edge matrix for the
+// quantity-skew partitioner, centred on single-class devices.
+func TestQuantitySkewEdgeCases(t *testing.T) {
+	cases := []struct {
+		name             string
+		n, classes       int
+		k, cpd           int
+		wantFullCoverage bool
+	}{
+		{name: "single-class devices cover all classes", n: 120, classes: 4, k: 8, cpd: 1, wantFullCoverage: true},
+		{name: "single-class fewer devices than classes", n: 120, classes: 6, k: 3, cpd: 1, wantFullCoverage: false},
+		{name: "every device holds every class", n: 90, classes: 3, k: 5, cpd: 3, wantFullCoverage: true},
+		{name: "one device takes all", n: 40, classes: 4, k: 1, cpd: 4, wantFullCoverage: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			labels := mkLabels(c.n, c.classes)
+			shards := QuantitySkew(labels, c.classes, c.k, c.cpd, tensor.NewRand(7))
+			checkDisjointCover(t, shards, c.n, c.wantFullCoverage)
+			for dev, s := range shards {
+				held := map[int]bool{}
+				for _, i := range s {
+					held[labels[i]] = true
+				}
+				if len(held) > c.cpd {
+					t.Fatalf("device %d holds %d classes, want <= %d", dev, len(held), c.cpd)
+				}
+			}
+			if c.wantFullCoverage {
+				covered := map[int]bool{}
+				for _, s := range shards {
+					for _, i := range s {
+						covered[labels[i]] = true
+					}
+				}
+				if len(covered) != c.classes {
+					t.Fatalf("only %d of %d classes covered", len(covered), c.classes)
+				}
+			}
+		})
+	}
+}

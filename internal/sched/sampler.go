@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Sampler selects the devices that participate in one communication
+// round. Implementations draw only from the supplied rng, so a round's
+// selection is a pure function of the rng state — independent of worker
+// count and wall clock. The returned ids are sorted ascending and free of
+// duplicates; at least one device is always selected.
+type Sampler interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+	// Sample picks the participating subset of [0, n).
+	Sample(n int, rng *rand.Rand) []int
+}
+
+// UniformK samples exactly min(K, n) devices uniformly without
+// replacement — the classic partial-participation policy of large-scale
+// federated systems.
+type UniformK struct{ K int }
+
+// NewUniformK validates k and builds the policy.
+func NewUniformK(k int) (UniformK, error) {
+	if k <= 0 {
+		return UniformK{}, fmt.Errorf("sched: uniform-K sample size %d must be positive", k)
+	}
+	return UniformK{K: k}, nil
+}
+
+// Name implements Sampler.
+func (u UniformK) Name() string { return fmt.Sprintf("uniform-%d", u.K) }
+
+// Sample implements Sampler.
+func (u UniformK) Sample(n int, rng *rand.Rand) []int {
+	return uniformSubset(n, u.K, rng)
+}
+
+// Fraction samples round(p·n) devices uniformly (at least one) — the
+// paper's straggler parameter p, expressed as a policy.
+type Fraction struct{ P float64 }
+
+// NewFraction validates p and builds the policy.
+func NewFraction(p float64) (Fraction, error) {
+	if p < 0 || p > 1 {
+		return Fraction{}, fmt.Errorf("sched: active fraction %v outside [0,1]", p)
+	}
+	return Fraction{P: p}, nil
+}
+
+// Name implements Sampler.
+func (f Fraction) Name() string { return fmt.Sprintf("fraction-%.2f", f.P) }
+
+// Sample implements Sampler.
+func (f Fraction) Sample(n int, rng *rand.Rand) []int {
+	return uniformSubset(n, int(f.P*float64(n)+0.5), rng)
+}
+
+// uniformSubset draws a uniformly random subset of [0,n) of size
+// min(max(k,1), n), sorted ascending — the shared selection mechanics of
+// the uniform policies.
+func uniformSubset(n, k int, rng *rand.Rand) []int {
+	checkPopulation(n)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	active := append([]int(nil), rng.Perm(n)[:k]...)
+	sort.Ints(active)
+	return active
+}
+
+// WeightedByData samples min(K, n) devices without replacement with
+// probability proportional to their data weight (typically shard size),
+// so data-rich devices participate more often — the importance-sampling
+// policy of systems like Fed-ET. Zero-weight devices are only drawn once
+// every positive-weight device in the pool has been.
+type WeightedByData struct {
+	K       int
+	Weights []int
+}
+
+// NewWeightedByData validates the inputs and builds the policy.
+func NewWeightedByData(weights []int, k int) (WeightedByData, error) {
+	if k <= 0 {
+		return WeightedByData{}, fmt.Errorf("sched: weighted sample size %d must be positive", k)
+	}
+	if len(weights) == 0 {
+		return WeightedByData{}, fmt.Errorf("sched: weighted sampling needs weights")
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return WeightedByData{}, fmt.Errorf("sched: negative weight %d for device %d", w, i)
+		}
+	}
+	return WeightedByData{K: k, Weights: weights}, nil
+}
+
+// Name implements Sampler.
+func (w WeightedByData) Name() string { return fmt.Sprintf("weighted-%d", w.K) }
+
+// Sample implements Sampler. n must equal len(Weights).
+func (w WeightedByData) Sample(n int, rng *rand.Rand) []int {
+	checkPopulation(n)
+	if n != len(w.Weights) {
+		panic(fmt.Sprintf("sched: weighted sampler built for %d devices, asked for %d", len(w.Weights), n))
+	}
+	k := w.K
+	if k > n {
+		k = n
+	}
+	// Successive weighted draws without replacement over the shrinking
+	// candidate pool.
+	candidates := make([]int, n)
+	weights := make([]int, n)
+	total := 0
+	for i := range candidates {
+		candidates[i] = i
+		weights[i] = w.Weights[i]
+		total += weights[i]
+	}
+	active := make([]int, 0, k)
+	for len(active) < k {
+		var pick int
+		if total <= 0 {
+			// Only zero-weight candidates remain: draw uniformly.
+			pick = rng.IntN(len(candidates))
+		} else {
+			target := rng.IntN(total)
+			acc := 0
+			for i, wt := range weights {
+				acc += wt
+				if target < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		active = append(active, candidates[pick])
+		total -= weights[pick]
+		last := len(candidates) - 1
+		candidates[pick], weights[pick] = candidates[last], weights[last]
+		candidates, weights = candidates[:last], weights[:last]
+	}
+	sort.Ints(active)
+	return active
+}
+
+func checkPopulation(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: sampling from %d devices", n))
+	}
+}

@@ -1,0 +1,346 @@
+// Package sched is the device-scale round scheduler: it lets a federated
+// coordinator run communication rounds over N ≫ NumCPU simulated devices
+// inside one process. A bounded worker pool executes per-device tasks with
+// per-device queue affinity (all tasks of a device run on the same worker,
+// in order), a per-round deadline drops stragglers from aggregation —
+// matching FedZKT's tolerance for partial participation — and seeded
+// failure injection exercises device churn deterministically.
+//
+// The scheduler is deliberately free of shared mutable state between
+// tasks: each task may only touch its own device, and each result slot is
+// written by exactly one worker. As long as tasks honour that contract —
+// and no RoundDeadline is set — a round's outcome is bit-identical for
+// any worker count, which the determinism golden tests in internal/fedzkt
+// rely on. A deadline makes which devices finish in time inherently
+// wall-clock- and worker-count-dependent; that is its job.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one device's unit of work within a round.
+type Task struct {
+	// Device is the task's device id (non-negative); it keys queue
+	// affinity and failure injection.
+	Device int
+	// Run performs the work. It must only touch state owned by Device.
+	Run func(ctx context.Context) error
+}
+
+// Status classifies a task's outcome.
+type Status int
+
+// Task outcomes.
+const (
+	// StatusCompleted means the task ran to completion within the round
+	// deadline; the device participates in aggregation.
+	StatusCompleted Status = iota + 1
+	// StatusFailed means the task returned a genuine error.
+	StatusFailed
+	// StatusDropped means the device missed the round deadline (or the
+	// round was cancelled before it ran); it is excluded from aggregation
+	// but keeps its local state, like a FedZKT straggler.
+	StatusDropped
+	// StatusInjected means the scheduler's seeded failure injection took
+	// the device down for this round; its task never ran.
+	StatusInjected
+)
+
+// String names the status for logs and test failure messages.
+func (s Status) String() string {
+	switch s {
+	case StatusCompleted:
+		return "completed"
+	case StatusFailed:
+		return "failed"
+	case StatusDropped:
+		return "dropped"
+	case StatusInjected:
+		return "injected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrInjected marks results whose device was taken down by failure
+// injection.
+var ErrInjected = errors.New("sched: injected device failure")
+
+// Result records one task's outcome.
+type Result struct {
+	Device  int
+	Status  Status
+	Err     error
+	Elapsed time.Duration
+}
+
+// Options configures a Pool. The zero value runs tasks on GOMAXPROCS
+// workers with no deadline and no failure injection.
+type Options struct {
+	// Workers bounds the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Sequential runs every task inline on the caller's goroutine, in
+	// task order. It is the reference scheduler the determinism tests
+	// compare the parallel pool against.
+	Sequential bool
+	// RoundDeadline is the wall-clock budget of one round; devices whose
+	// task has not completed when it expires are dropped from aggregation.
+	// 0 means no deadline.
+	RoundDeadline time.Duration
+	// FailureRate is the probability that a given device is failure-
+	// injected in a given round. The draw is a pure function of
+	// (FailureSeed, round, device), so it is identical for any worker
+	// count and reproducible across runs.
+	FailureRate float64
+	// FailureSeed seeds the failure-injection hash.
+	FailureSeed uint64
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("sched: negative worker count %d", o.Workers)
+	}
+	if o.RoundDeadline < 0 {
+		return fmt.Errorf("sched: negative round deadline %v", o.RoundDeadline)
+	}
+	if o.FailureRate < 0 || o.FailureRate >= 1 {
+		return fmt.Errorf("sched: failure rate %v outside [0,1)", o.FailureRate)
+	}
+	return nil
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats counts pool activity across rounds (atomically updated, so safe
+// to read concurrently with a running round).
+type Stats struct {
+	Rounds    atomic.Int64
+	Completed atomic.Int64
+	Failed    atomic.Int64
+	Dropped   atomic.Int64
+	Injected  atomic.Int64
+}
+
+// Pool is a bounded worker pool that executes one round of device tasks
+// at a time. It is stateless between rounds apart from its Stats, so a
+// single Pool serves a whole multi-round run.
+type Pool struct {
+	opts  Options
+	stats Stats
+}
+
+// NewPool validates opts and builds a pool.
+func NewPool(opts Options) (*Pool, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pool{opts: opts}, nil
+}
+
+// Options returns the pool's configuration.
+func (p *Pool) Options() Options { return p.opts }
+
+// Stats exposes the pool's cumulative counters.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// RunRound executes one round's tasks and returns one Result per task, in
+// task order. Failure-injected devices are decided up front and never
+// run; the rest are sharded across the worker pool by device id, so a
+// device's tasks always execute on the same worker and in order. The
+// call blocks until every started task has returned — a straggler that
+// outlives the deadline is awaited but reported as dropped.
+func (p *Pool) RunRound(ctx context.Context, round int, tasks []Task) []Result {
+	results := make([]Result, len(tasks))
+	pending := make([]int, 0, len(tasks))
+	for i, t := range tasks {
+		if p.injectFailure(round, t.Device) {
+			results[i] = Result{Device: t.Device, Status: StatusInjected, Err: ErrInjected}
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	runCtx := ctx
+	var deadlineAt time.Time
+	if p.opts.RoundDeadline > 0 {
+		deadlineAt = time.Now().Add(p.opts.RoundDeadline)
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithDeadline(ctx, deadlineAt)
+		defer cancel()
+	}
+
+	if p.opts.Sequential {
+		for _, i := range pending {
+			results[i] = runOne(runCtx, tasks[i], deadlineAt)
+		}
+	} else {
+		p.runSharded(runCtx, tasks, pending, deadlineAt, results)
+	}
+
+	p.stats.Rounds.Add(1)
+	for _, r := range results {
+		switch r.Status {
+		case StatusCompleted:
+			p.stats.Completed.Add(1)
+		case StatusFailed:
+			p.stats.Failed.Add(1)
+		case StatusDropped:
+			p.stats.Dropped.Add(1)
+		case StatusInjected:
+			p.stats.Injected.Add(1)
+		}
+	}
+	return results
+}
+
+// runSharded fans the pending task indices out over the worker pool.
+// Each result slot is written by exactly one worker and the WaitGroup
+// publishes the writes, so the loop is race-free by construction.
+func (p *Pool) runSharded(ctx context.Context, tasks []Task, pending []int, deadlineAt time.Time, results []Result) {
+	workers := p.opts.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 0 {
+		return
+	}
+	queues := dealQueues(tasks, pending, workers)
+	var wg sync.WaitGroup
+	for _, queue := range queues {
+		if len(queue) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(queue []int) {
+			defer wg.Done()
+			for _, i := range queue {
+				results[i] = runOne(ctx, tasks[i], deadlineAt)
+			}
+		}(queue)
+	}
+	wg.Wait()
+}
+
+// dealQueues deals the pending task indices onto per-worker queues:
+// round-robin by each device's first appearance, so queues stay balanced
+// even when the sampled device ids are clustered (a plain
+// device-mod-workers hash can pile a round's whole sample onto one
+// worker), while a device's later tasks still follow it to the same
+// queue, preserving per-device order.
+func dealQueues(tasks []Task, pending []int, workers int) [][]int {
+	queues := make([][]int, workers)
+	queueOf := make(map[int]int, len(pending))
+	next := 0
+	for _, i := range pending {
+		q, ok := queueOf[tasks[i].Device]
+		if !ok {
+			q = next % workers
+			next++
+			queueOf[tasks[i].Device] = q
+		}
+		queues[q] = append(queues[q], i)
+	}
+	return queues
+}
+
+// runOne executes a single task under the round context and classifies
+// the outcome.
+func runOne(ctx context.Context, t Task, deadlineAt time.Time) Result {
+	if err := ctx.Err(); err != nil {
+		// Deadline already passed (or round cancelled) before the task
+		// got a worker: a queue straggler.
+		return Result{Device: t.Device, Status: StatusDropped, Err: err}
+	}
+	start := time.Now()
+	err := t.Run(ctx)
+	elapsed := time.Since(start)
+	late := !deadlineAt.IsZero() && time.Now().After(deadlineAt)
+	switch {
+	case err != nil && ctx.Err() != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		// A context error only counts as a straggler drop when the round
+		// context itself is done; a task's own internal timeout while the
+		// round is still live is a genuine failure.
+		return Result{Device: t.Device, Status: StatusDropped, Err: err, Elapsed: elapsed}
+	case err != nil:
+		// A genuine task error is a failure even when it also missed the
+		// deadline — lateness must not swallow real faults.
+		return Result{Device: t.Device, Status: StatusFailed, Err: err, Elapsed: elapsed}
+	case late:
+		// Finished after the bell: the work happened (device state moved)
+		// but the round's aggregation won't include it.
+		return Result{Device: t.Device, Status: StatusDropped, Elapsed: elapsed}
+	default:
+		return Result{Device: t.Device, Status: StatusCompleted, Elapsed: elapsed}
+	}
+}
+
+// injectFailure decides deterministically whether (round, device) is
+// failure-injected: a splitmix64 hash mapped to [0,1) and compared to the
+// rate, so the draw is independent of scheduling order.
+func (p *Pool) injectFailure(round, device int) bool {
+	if p.opts.FailureRate <= 0 {
+		return false
+	}
+	h := splitmix64(p.opts.FailureSeed ^ uint64(round)*0x9E3779B97F4A7C15 ^ uint64(device)*0xBF58476D1CE4E5B9)
+	return float64(h>>11)/(1<<53) < p.opts.FailureRate
+}
+
+// splitmix64 is the finaliser of the SplitMix64 generator, used as a
+// statistically solid 64-bit mixing hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
+// (0 means GOMAXPROCS) and blocks until all calls return. Indices are
+// assigned in contiguous blocks, so the goroutine count — and therefore
+// memory pressure — is bounded regardless of n. fn must be safe to call
+// concurrently for distinct i.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

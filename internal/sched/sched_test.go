@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingTasks builds n no-op tasks whose Run records the execution
+// into a per-device slot.
+func countingTasks(n int, ran []atomic.Int32) []Task {
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task{Device: i, Run: func(context.Context) error {
+			ran[i].Add(1)
+			return nil
+		}}
+	}
+	return tasks
+}
+
+func TestRunRoundCompletesEveryTask(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			ran := make([]atomic.Int32, n)
+			p, err := NewPool(Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := p.RunRound(context.Background(), 1, countingTasks(n, ran))
+			if len(res) != n {
+				t.Fatalf("got %d results, want %d", len(res), n)
+			}
+			for i, r := range res {
+				if r.Device != i || r.Status != StatusCompleted || r.Err != nil {
+					t.Fatalf("result %d = %+v", i, r)
+				}
+				if got := ran[i].Load(); got != 1 {
+					t.Fatalf("device %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRoundSequentialMatchesParallel(t *testing.T) {
+	const n = 40
+	run := func(opts Options) []Result {
+		ran := make([]atomic.Int32, n)
+		p, err := NewPool(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.RunRound(context.Background(), 3, countingTasks(n, ran))
+		for i := range res {
+			res[i].Elapsed = 0 // wall-clock differs by construction
+		}
+		return res
+	}
+	seq := run(Options{Sequential: true, FailureRate: 0.3, FailureSeed: 7})
+	for _, workers := range []int{1, 2, 3, 8} {
+		par := run(Options{Workers: workers, FailureRate: 0.3, FailureSeed: 7})
+		for i := range seq {
+			if seq[i] != par[i] && !(errors.Is(seq[i].Err, ErrInjected) && errors.Is(par[i].Err, ErrInjected)) {
+				t.Fatalf("workers=%d: result %d differs: seq=%+v par=%+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestPerDeviceOrderingUnderAffinity(t *testing.T) {
+	// Three tasks per device in one round: queue affinity must keep each
+	// device's tasks in submission order even with many workers.
+	const devices, perDevice = 8, 3
+	order := make([][]int, devices)
+	var tasks []Task
+	for rep := 0; rep < perDevice; rep++ {
+		for d := 0; d < devices; d++ {
+			d, rep := d, rep
+			tasks = append(tasks, Task{Device: d, Run: func(context.Context) error {
+				order[d] = append(order[d], rep) // safe: affinity serialises per device
+				return nil
+			}})
+		}
+	}
+	p, err := NewPool(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunRound(context.Background(), 1, tasks)
+	for d := 0; d < devices; d++ {
+		for rep := 0; rep < perDevice; rep++ {
+			if order[d][rep] != rep {
+				t.Fatalf("device %d saw order %v", d, order[d])
+			}
+		}
+	}
+}
+
+func TestFailureInjectionDeterministicAndRateBounded(t *testing.T) {
+	p, err := NewPool(Options{FailureRate: 0.25, FailureSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	const rounds, devices = 40, 50
+	for round := 1; round <= rounds; round++ {
+		for d := 0; d < devices; d++ {
+			a := p.injectFailure(round, d)
+			b := p.injectFailure(round, d)
+			if a != b {
+				t.Fatalf("injection not deterministic at round %d device %d", round, d)
+			}
+			if a {
+				injected++
+			}
+		}
+	}
+	rate := float64(injected) / float64(rounds*devices)
+	if rate < 0.18 || rate > 0.32 {
+		t.Fatalf("injected rate %.3f far from configured 0.25", rate)
+	}
+}
+
+func TestRoundDeadlineDropsStragglers(t *testing.T) {
+	// Device 0 is fast; device 1 sleeps past the deadline; device 2 blocks
+	// on the context and sees the cancellation.
+	// Wide margins so loaded CI runners (especially under -race) cannot
+	// misclassify the fast device as a straggler.
+	p, err := NewPool(Options{Workers: 3, RoundDeadline: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		{Device: 0, Run: func(context.Context) error { return nil }},
+		{Device: 1, Run: func(context.Context) error { time.Sleep(900 * time.Millisecond); return nil }},
+		{Device: 2, Run: func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }},
+	}
+	res := p.RunRound(context.Background(), 1, tasks)
+	if res[0].Status != StatusCompleted {
+		t.Fatalf("fast device: %+v", res[0])
+	}
+	if res[1].Status != StatusDropped {
+		t.Fatalf("sleeping straggler: %+v", res[1])
+	}
+	if res[2].Status != StatusDropped || !errors.Is(res[2].Err, context.DeadlineExceeded) {
+		t.Fatalf("context-aware straggler: %+v", res[2])
+	}
+	if got := p.Stats().Dropped.Load(); got != 2 {
+		t.Fatalf("dropped stat = %d, want 2", got)
+	}
+}
+
+func TestCancelledContextDropsUnstartedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := NewPool(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]atomic.Int32, 4)
+	res := p.RunRound(ctx, 1, countingTasks(4, ran))
+	for i, r := range res {
+		if r.Status != StatusDropped || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if ran[i].Load() != 0 {
+			t.Fatalf("task %d ran under a cancelled context", i)
+		}
+	}
+}
+
+func TestFailedStatusCarriesError(t *testing.T) {
+	boom := errors.New("boom")
+	p, err := NewPool(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunRound(context.Background(), 1, []Task{
+		{Device: 0, Run: func(context.Context) error { return boom }},
+		{Device: 1, Run: func(context.Context) error { return nil }},
+	})
+	if res[0].Status != StatusFailed || !errors.Is(res[0].Err, boom) {
+		t.Fatalf("failing task: %+v", res[0])
+	}
+	if res[1].Status != StatusCompleted {
+		t.Fatalf("healthy task: %+v", res[1])
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"zero", Options{}, true},
+		{"negative workers", Options{Workers: -1}, false},
+		{"negative deadline", Options{RoundDeadline: -time.Second}, false},
+		{"rate one", Options{FailureRate: 1}, false},
+		{"rate negative", Options{FailureRate: -0.1}, false},
+		{"rate high ok", Options{FailureRate: 0.99}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewPool(c.opts)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewPool(%+v) err = %v, want ok=%v", c.opts, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 5, 100} {
+		const n = 57
+		hits := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p, err := NewPool(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]atomic.Int32, 6)
+	p.RunRound(context.Background(), 1, countingTasks(6, ran))
+	p.RunRound(context.Background(), 2, countingTasks(6, ran))
+	if got := p.Stats().Rounds.Load(); got != 2 {
+		t.Fatalf("rounds = %d", got)
+	}
+	if got := p.Stats().Completed.Load(); got != 12 {
+		t.Fatalf("completed = %d", got)
+	}
+}
+
+func TestLateGenuineErrorIsFailedNotDropped(t *testing.T) {
+	// A task that both misses the deadline and returns a real error must
+	// surface as Failed: lateness must not swallow genuine faults.
+	boom := errors.New("device exploded")
+	p, err := NewPool(Options{Workers: 1, RoundDeadline: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunRound(context.Background(), 1, []Task{
+		{Device: 0, Run: func(context.Context) error { time.Sleep(600 * time.Millisecond); return boom }},
+	})
+	if res[0].Status != StatusFailed || !errors.Is(res[0].Err, boom) {
+		t.Fatalf("late failing task: %+v", res[0])
+	}
+}
+
+func TestDealQueuesBalancesClusteredDeviceIDs(t *testing.T) {
+	// Device ids that collide under a naive id%workers hash (all ≡ 0 mod
+	// 4) must still spread across the pool: round-robin dealing over 4
+	// workers and 8 such devices puts exactly 2 on each queue.
+	const workers, devices = 4, 8
+	tasks := make([]Task, devices)
+	pending := make([]int, devices)
+	for d := 0; d < devices; d++ {
+		tasks[d] = Task{Device: d * workers} // 0, 4, 8, ... all ≡ 0 mod 4
+		pending[d] = d
+	}
+	queues := dealQueues(tasks, pending, workers)
+	for q, queue := range queues {
+		if len(queue) != devices/workers {
+			t.Fatalf("queue %d holds %d tasks, want %d (queues=%v)", q, len(queue), devices/workers, queues)
+		}
+	}
+}
+
+func TestDealQueuesKeepsDeviceAffinity(t *testing.T) {
+	// Two tasks for the same device must land on the same queue, in
+	// submission order, regardless of what is dealt between them.
+	tasks := []Task{{Device: 9}, {Device: 5}, {Device: 7}, {Device: 9}, {Device: 5}}
+	pending := []int{0, 1, 2, 3, 4}
+	queues := dealQueues(tasks, pending, 2)
+	find := func(taskIdx int) int {
+		for q, queue := range queues {
+			for _, i := range queue {
+				if i == taskIdx {
+					return q
+				}
+			}
+		}
+		t.Fatalf("task %d not dealt", taskIdx)
+		return -1
+	}
+	if find(0) != find(3) {
+		t.Fatalf("device 9's tasks split across queues: %v", queues)
+	}
+	if find(1) != find(4) {
+		t.Fatalf("device 5's tasks split across queues: %v", queues)
+	}
+	for _, queue := range queues {
+		if !sort.IntsAreSorted(queue) {
+			t.Fatalf("queue order not submission order: %v", queues)
+		}
+	}
+}
+
+func TestTaskInternalContextErrorIsFailedWhileRoundLive(t *testing.T) {
+	// A task whose own internal timeout surfaces context.DeadlineExceeded
+	// while the round context is still live is a genuine failure, not a
+	// straggler drop.
+	p, err := NewPool(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunRound(context.Background(), 1, []Task{
+		{Device: 0, Run: func(context.Context) error {
+			inner, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+			defer cancel()
+			<-inner.Done()
+			return fmt.Errorf("device rpc: %w", inner.Err())
+		}},
+	})
+	if res[0].Status != StatusFailed || !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("internal timeout while round live: %+v", res[0])
+	}
+}
