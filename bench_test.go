@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -170,6 +171,51 @@ func BenchmarkAblationGeneratorSweep(b *testing.B) {
 		}
 	}
 }
+
+// --- Server-phase scaling benchmarks ---
+
+// benchDistillServer builds a 100-replica server over the paper's small
+// heterogeneous zoo (five architecture cohorts, 20 devices each) and runs
+// full Distill rounds. teachersPerIter = 0 is the paper-exact
+// full-ensemble mode; positive values sample that many teachers per
+// distillation iteration and transfer back into a same-sized rotating
+// replica window — the cohort subsystem's O(devices) → O(T) server-phase
+// reduction under measurement.
+func benchDistillServer(b *testing.B, teachersPerIter int) {
+	b.Helper()
+	cfg := fedzkt.Config{
+		Rounds: 1, DistillIters: 2, StudentSteps: 1,
+		DistillBatch: 16, ZDim: 8,
+		TeachersPerIter: teachersPerIter,
+	}
+	srv, err := fedzkt.NewServer(cfg, fedzkt.Shape{C: 1, H: 8, W: 8}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zoo := fedzkt.SmallZoo()
+	for i := 0; i < 100; i++ {
+		if _, err := srv.RegisterSized(zoo[i%len(zoo)], nil, 1+i%7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Distill(i + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerDistill100FullEnsemble is the pre-cohort regime: every
+// distillation iteration forwards all 100 replica teachers and transfers
+// back into all 100 replicas.
+func BenchmarkServerDistill100FullEnsemble(b *testing.B) { benchDistillServer(b, 0) }
+
+// BenchmarkServerDistill100Teachers8 samples 8 teachers per iteration
+// (and an 8-wide rotating transfer-back window). The acceptance bar for
+// the cohort refactor is ≥ 5× over the full ensemble at 100 replicas.
+func BenchmarkServerDistill100Teachers8(b *testing.B) { benchDistillServer(b, 8) }
 
 // --- Substrate micro-benchmarks ---
 

@@ -40,6 +40,10 @@ func run(args []string) error {
 		sampleK  = fs.Int("sample-k", 0, "sample exactly K clients per round (uniform-K; 0 keeps each experiment's policy)")
 		deadline = fs.Duration("round-deadline", 0, "per-round wall-clock budget; late devices are dropped from aggregation (0 = none)")
 		workers  = fs.Int("workers", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
+
+		teachersPerIter = fs.Int("teachers-per-iter", 0, "server: replica teachers sampled per distillation iteration (0 = paper-exact full ensemble; -exp scale always compares full vs sampled and sizes the sampled arm with this, defaulting to 8)")
+		teacherSampling = fs.String("teacher-sampling", "", "server: teacher-subset policy, uniform or weighted (by device data size)")
+		cohortReplicas  = fs.Int("cohort-replicas", 0, "server: live replica modules retained per architecture cohort (0 = automatic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,9 @@ func run(args []string) error {
 	params.SampleK = *sampleK
 	params.RoundDeadline = *deadline
 	params.Workers = *workers
+	params.TeachersPerIter = *teachersPerIter
+	params.TeacherSampling = *teacherSampling
+	params.CohortReplicas = *cohortReplicas
 	if *devices != "" {
 		counts, err := parseDevices(*devices)
 		if err != nil {

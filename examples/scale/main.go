@@ -3,10 +3,14 @@
 // of thousands. This example simulates a 1,000-device federation in one
 // process on the sharded round scheduler: uniform-K client sampling,
 // bounded workers, deterministic failure injection, and an optional
-// per-round deadline that drops stragglers from aggregation.
+// per-round deadline that drops stragglers from aggregation. The server
+// phase runs on the architecture-cohort replica store, sampling a teacher
+// subset per distillation iteration (-teachers-per-iter 0 restores the
+// paper-exact full ensemble).
 //
 //	go run ./examples/scale
 //	go run ./examples/scale -devices 1000 -sample-k 32 -workers 8 -rounds 2
+//	go run ./examples/scale -devices 1000 -teachers-per-iter 16 -teacher-sampling weighted
 package main
 
 import (
@@ -31,6 +35,10 @@ func main() {
 		failRate = flag.Float64("fail-rate", 0.05, "injected per-device-round failure probability")
 		weighted = flag.Bool("weighted", false, "weight client sampling by shard size")
 		seed     = flag.Uint64("seed", 42, "random seed")
+
+		teachersPerIter = flag.Int("teachers-per-iter", 8, "replica teachers sampled per server distillation iteration (0 = paper-exact full ensemble)")
+		teacherSampling = flag.String("teacher-sampling", "uniform", "teacher-subset policy: uniform or weighted (by device data size)")
+		cohortReplicas  = flag.Int("cohort-replicas", 0, "live replica modules retained per architecture cohort (0 = automatic)")
 	)
 	flag.Parse()
 
@@ -44,22 +52,27 @@ func main() {
 
 	build := time.Now()
 	co, err := fedzkt.New(fedzkt.Config{
-		// A deliberately small distillation budget: with 1,000 replica
-		// teachers in the ensemble, the server phase dominates the round,
-		// and this demo is about scheduling, not accuracy.
+		// A deliberately small distillation budget: this demo is about
+		// scheduling and server scaling, not accuracy. With the default
+		// -teachers-per-iter the server samples a teacher subset per
+		// distillation iteration instead of forwarding all 1,000 replicas
+		// (set -teachers-per-iter 0 for the paper-exact full ensemble).
 		Rounds: *rounds, LocalEpochs: 1, DistillIters: 3, StudentSteps: 1,
 		DistillBatch: 8, BatchSize: 8, ZDim: 16,
 		DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9,
 		Seed:    *seed,
 		SampleK: *sampleK, SampleWeighted: *weighted,
 		Workers: *workers, RoundDeadline: *deadline, FailureRate: *failRate,
-		EvalEvery: *rounds, // evaluating 1,000 device models is the slow part
+		TeachersPerIter: *teachersPerIter, TeacherSampling: *teacherSampling,
+		CohortReplicas:  *cohortReplicas,
+		EvalEvery:       *rounds, // evaluating 1,000 device models is the slow part
 	}, ds, []string{"mlp", "lenet-s"}, shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("federation built (%d devices + %d server replicas) in %s\n",
-		*devices, *devices, time.Since(build).Round(time.Millisecond))
+	srv := co.Server()
+	fmt.Printf("federation built (%d devices in %d architecture cohorts) in %s\n",
+		*devices, srv.NumCohorts(), time.Since(build).Round(time.Millisecond))
 
 	start := time.Now()
 	hist, err := co.Run(context.Background())
@@ -68,16 +81,19 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nround | sampled | completed | dropped | injected | round time\n")
+	fmt.Printf("\nround | sampled | completed | dropped | injected | server time | round time\n")
 	for _, m := range hist {
-		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %s\n",
+		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %11s | %s\n",
 			m.Round, len(m.Active),
 			len(m.Active)-len(m.Dropped)-len(m.Injected),
-			len(m.Dropped), len(m.Injected), m.Elapsed.Round(time.Millisecond))
+			len(m.Dropped), len(m.Injected),
+			m.ServerElapsed.Round(time.Millisecond), m.Elapsed.Round(time.Millisecond))
 	}
 	stats := co.Pool().Stats()
 	fmt.Printf("\npolicy=%s  totals: completed=%d dropped=%d injected=%d\n",
 		co.Sampler().Name(), stats.Completed.Load(), stats.Dropped.Load(), stats.Injected.Load())
+	fmt.Printf("server: teachers/iter=%d (0 = full ensemble), live replica modules retained=%d of %d devices\n",
+		*teachersPerIter, srv.LiveReplicas(), *devices)
 	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f\n",
 		hist.FinalGlobalAcc(), hist.FinalMeanDeviceAcc())
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",

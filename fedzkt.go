@@ -21,6 +21,18 @@
 //		Rounds: 2, SampleK: 32, Workers: 8, FailureRate: 0.05,
 //	}, ds, archs, shards) // e.g. 1,000 shards — see examples/scale
 //
+// The server side scales independently: replicas are stored in
+// architecture cohorts (shared live modules + per-device state dicts),
+// and TeachersPerIter / TeacherSampling / CohortReplicas switch the
+// server phase from the paper-exact full teacher ensemble
+// (TeachersPerIter: 0, byte-identical to the flat-replica
+// implementation) to sampling T teachers per distillation iteration —
+// O(T) server cost per iteration instead of O(devices):
+//
+//	co, err := fedzkt.New(fedzkt.Config{
+//		Rounds: 2, SampleK: 32, TeachersPerIter: 8, TeacherSampling: "weighted",
+//	}, ds, archs, shards)
+//
 // The full machinery lives in the internal packages (documented in
 // DESIGN.md): internal/fedzkt (Algorithms 1 & 3), internal/fed (device
 // runtime), internal/sched (the round scheduler and sampling policies),

@@ -83,6 +83,16 @@ type Params struct {
 	// ScaleDevices overrides the scale experiment's device-count sweep
 	// (set by the -devices flag; nil uses the per-scale defaults).
 	ScaleDevices []int
+	// TeachersPerIter, when positive, makes every federation's server
+	// sample that many replica teachers per distillation iteration
+	// instead of the full ensemble; set by the -teachers-per-iter flag.
+	TeachersPerIter int
+	// TeacherSampling selects the teacher-subset policy ("uniform" or
+	// "weighted"); set by the -teacher-sampling flag.
+	TeacherSampling string
+	// CohortReplicas bounds the live replica modules retained per
+	// architecture cohort; set by the -cohort-replicas flag.
+	CohortReplicas int
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -208,6 +218,10 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		Workers:       p.Workers,
 		SampleK:       p.SampleK,
 		RoundDeadline: p.RoundDeadline,
+
+		TeachersPerIter: p.TeachersPerIter,
+		TeacherSampling: p.TeacherSampling,
+		CohortReplicas:  p.CohortReplicas,
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/partition"
@@ -27,18 +29,35 @@ func scaleDeviceCounts(s Scale) []int {
 	}
 }
 
+// scaleTeachersPerIter is the sampled-teacher budget the sweep's sampled
+// arm uses. The sweep always runs both regimes — that comparison is its
+// purpose — so unlike everywhere else, TeachersPerIter = 0 here means
+// "default sampled budget (8)", not "exact mode only"; the full-ensemble
+// reference arm is always measured alongside.
+func scaleTeachersPerIter(p Params) int {
+	if p.TeachersPerIter > 0 {
+		return p.TeachersPerIter
+	}
+	return 8
+}
+
 // ScaleSweep is the device-count scaling scenario (beyond the paper):
-// for each federation size it runs a short FedZKT federation on the
+// for each federation size it runs two short FedZKT federations on the
 // sharded scheduler with uniform-K partial participation and mild failure
-// injection, and reports participation accounting, round wall time, and
-// accuracy. It is the regression harness for every future scaling change.
+// injection — one with the paper-exact full teacher ensemble, one with
+// the cohort server sampling TeachersPerIter teachers per distillation
+// iteration — and reports participation accounting, the server-phase
+// wall time of both regimes, and the sampled run's accuracy. It is the
+// regression harness for every future scaling change.
 func ScaleSweep(p Params) (*Result, error) {
 	t := &Table{
 		ID:    "scale",
 		Title: "Device-count scaling on the sharded scheduler (SynthMNIST, IID)",
 		Header: []string{"Devices", "Policy", "K/round", "Completed", "Dropped", "Injected",
-			"Mean round time", "Global acc", "Mean device acc"},
+			"Mean round time", "Server full", "Server sampled", "Server speedup",
+			"Global acc", "Mean device acc"},
 	}
+	teachers := scaleTeachersPerIter(p)
 	counts := p.ScaleDevices
 	if len(counts) == 0 {
 		counts = scaleDeviceCounts(p.Scale)
@@ -69,13 +88,24 @@ func ScaleSweep(p Params) (*Result, error) {
 		// A cheap heterogeneous pair: the property under test is device
 		// count, not model capacity.
 		archs := model.ZooFor([]string{"mlp", "lenet-s"}, k)
-		co, err := fedzkt.New(cfg, ds, archs, shards)
+
+		// Full-ensemble reference: the pre-cohort server regime, every
+		// replica a teacher every iteration (sampling config cleared —
+		// the exact mode is unweighted by definition).
+		full := cfg
+		full.TeachersPerIter = 0
+		full.TeacherSampling = ""
+		fullHist, _, err := runScaleCell(full, ds, archs, shards)
 		if err != nil {
-			return nil, fmt.Errorf("scale %d devices: %w", k, err)
+			return nil, fmt.Errorf("scale %d devices (full ensemble): %w", k, err)
 		}
-		hist, err := co.Run(context.Background())
+
+		// Sampled cohort server: T teachers per iteration.
+		sampled := cfg
+		sampled.TeachersPerIter = teachers
+		hist, co, err := runScaleCell(sampled, ds, archs, shards)
 		if err != nil {
-			return nil, fmt.Errorf("scale %d devices: %w", k, err)
+			return nil, fmt.Errorf("scale %d devices (teachers=%d): %w", k, teachers, err)
 		}
 
 		var roundTime time.Duration
@@ -83,6 +113,12 @@ func ScaleSweep(p Params) (*Result, error) {
 			roundTime += m.Elapsed
 		}
 		roundTime /= time.Duration(len(hist))
+		serverFull := fullHist.MeanServerElapsed()
+		serverSampled := hist.MeanServerElapsed()
+		speedup := "n/a"
+		if serverSampled > 0 {
+			speedup = fmt.Sprintf("%.1f×", float64(serverFull)/float64(serverSampled))
+		}
 		stats := co.Pool().Stats()
 		t.AddRow(
 			fmt.Sprintf("%d", k),
@@ -92,9 +128,25 @@ func ScaleSweep(p Params) (*Result, error) {
 			fmt.Sprintf("%d", stats.Dropped.Load()),
 			fmt.Sprintf("%d", stats.Injected.Load()),
 			roundTime.Round(time.Millisecond).String(),
+			serverFull.Round(time.Millisecond).String(),
+			serverSampled.Round(time.Millisecond).String(),
+			speedup,
 			pct(hist.FinalGlobalAcc()),
 			pct(hist.FinalMeanDeviceAcc()),
 		)
 	}
 	return &Result{Tables: []*Table{t}}, nil
+}
+
+// runScaleCell builds and runs one federation of the sweep.
+func runScaleCell(cfg fedzkt.Config, ds *data.Dataset, archs []string, shards [][]int) (fed.History, *fedzkt.Coordinator, error) {
+	co, err := fedzkt.New(cfg, ds, archs, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	return hist, co, nil
 }

@@ -52,6 +52,10 @@ type RoundMetrics struct {
 	InputGradNorm float64
 	// Elapsed is the wall-clock duration of the round.
 	Elapsed time.Duration
+	// ServerElapsed is the wall-clock duration of the round's server
+	// phase (Algorithm 3: adversarial distillation plus transfer-back) —
+	// the component the cohort/teacher-sampling machinery targets.
+	ServerElapsed time.Duration
 }
 
 // History is the per-round metrics trace of a full run.
@@ -118,6 +122,19 @@ func (h History) Fingerprint() string {
 // canonFloat formats a float with full round-trip precision so that any
 // bit-level divergence shows up in the fingerprint.
 func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// MeanServerElapsed returns the mean per-round server-phase wall time
+// (0 for an empty history).
+func (h History) MeanServerElapsed() time.Duration {
+	if len(h) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, m := range h {
+		total += m.ServerElapsed
+	}
+	return total / time.Duration(len(h))
+}
 
 // TotalBytes sums upload and download traffic over the run.
 func (h History) TotalBytes() (up, down int64) {

@@ -9,14 +9,19 @@ import (
 	"github.com/fedzkt/fedzkt/internal/nn"
 )
 
-// checkpoint is the gob wire form of a server checkpoint: the effective
-// config, the registered architectures, and every model's state dict.
+// checkpoint is the gob wire form of a server checkpoint: the registered
+// architectures, per-device data-size weights, and every model's state
+// dict.
 type checkpoint struct {
 	Version  int
 	Archs    []string
 	Global   []byte
 	Gen      []byte
 	Replicas [][]byte
+	// Weights records each device's data-size weight (the weighted
+	// teacher-ensemble input). Older version-1 checkpoints without the
+	// field decode as nil and restore with weight 1.
+	Weights []int
 }
 
 // checkpointVersion guards against loading incompatible snapshots.
@@ -28,7 +33,7 @@ const checkpointVersion = 1
 // reconstructs the server with NewServer and the same Config before
 // loading.
 func (s *Server) SaveCheckpoint(w io.Writer) error {
-	cp := checkpoint{Version: checkpointVersion, Archs: append([]string(nil), s.archs...)}
+	cp := checkpoint{Version: checkpointVersion}
 	var err error
 	if cp.Global, err = nn.EncodeState(nn.CaptureState(s.global)); err != nil {
 		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
@@ -36,12 +41,14 @@ func (s *Server) SaveCheckpoint(w io.Writer) error {
 	if cp.Gen, err = nn.EncodeState(nn.CaptureState(s.gen)); err != nil {
 		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
 	}
-	for i, r := range s.replicas {
-		b, err := nn.EncodeState(nn.CaptureState(r))
+	for _, ref := range s.cohorts.devices {
+		b, err := nn.EncodeState(ref.member.state)
 		if err != nil {
-			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
+			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", ref.member.id, err)
 		}
 		cp.Replicas = append(cp.Replicas, b)
+		cp.Archs = append(cp.Archs, ref.cohort.arch)
+		cp.Weights = append(cp.Weights, ref.member.weight)
 	}
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("fedzkt: writing checkpoint: %w", err)
@@ -51,8 +58,8 @@ func (s *Server) SaveCheckpoint(w io.Writer) error {
 
 // LoadCheckpoint restores a snapshot written by SaveCheckpoint into a
 // freshly constructed server. Devices not yet registered are registered
-// with their checkpointed architecture; already-registered devices must
-// match positionally.
+// with their checkpointed architecture and data-size weight;
+// already-registered devices must match positionally.
 func (s *Server) LoadCheckpoint(r io.Reader) error {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
@@ -64,17 +71,24 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 	if len(cp.Replicas) != len(cp.Archs) {
 		return fmt.Errorf("fedzkt: corrupt checkpoint: %d replicas for %d archs", len(cp.Replicas), len(cp.Archs))
 	}
-	if n := len(s.replicas); n > len(cp.Archs) {
+	if cp.Weights != nil && len(cp.Weights) != len(cp.Archs) {
+		return fmt.Errorf("fedzkt: corrupt checkpoint: %d weights for %d archs", len(cp.Weights), len(cp.Archs))
+	}
+	if n := s.cohorts.numDevices(); n > len(cp.Archs) {
 		return fmt.Errorf("fedzkt: server has %d devices but checkpoint has %d", n, len(cp.Archs))
 	}
 	for i, arch := range cp.Archs {
-		if i < len(s.replicas) {
-			if s.archs[i] != arch {
-				return fmt.Errorf("fedzkt: device %d architecture mismatch: %s vs checkpointed %s", i, s.archs[i], arch)
+		if i < s.cohorts.numDevices() {
+			if got := s.cohorts.devices[i].cohort.arch; got != arch {
+				return fmt.Errorf("fedzkt: device %d architecture mismatch: %s vs checkpointed %s", i, got, arch)
 			}
 			continue
 		}
-		if _, err := s.Register(arch, nil); err != nil {
+		weight := 1
+		if cp.Weights != nil {
+			weight = cp.Weights[i]
+		}
+		if _, err := s.RegisterSized(arch, nil, weight); err != nil {
 			return fmt.Errorf("fedzkt: restoring device %d: %w", i, err)
 		}
 	}
@@ -97,8 +111,11 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
 		}
-		if err := nn.LoadState(s.replicas[i], sd); err != nil {
+		if err := s.cohorts.devices[i].member.state.LoadFrom(sd); err != nil {
 			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
+		}
+		if cp.Weights != nil {
+			s.cohorts.devices[i].member.weight = cp.Weights[i]
 		}
 	}
 	return nil

@@ -1,0 +1,209 @@
+package fedzkt
+
+import (
+	"fmt"
+
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/optim"
+)
+
+// This file implements the server's architecture-cohort replica registry.
+//
+// The pre-cohort server kept one full live module and one optimiser per
+// registered device, so a 1,000-device federation paid ~1,000× model
+// memory on the server and the ensemble forward touched 1,000 distinct
+// module graphs. Cohorts group devices by architecture: each cohort owns a
+// small pool of live modules (grown on demand, bounded by the retention
+// cap) and a per-device nn.StateDict slot holding that device's replica
+// parameters. A device's state is swapped into a pooled module only while
+// a distillation phase needs it resident — an O(#tensors) slice-header
+// exchange via nn.StateBinding, not an element copy — so server memory
+// scales with (distinct architectures × pool size) live modules plus the
+// irreducible per-device parameter data.
+
+// member is one registered device inside a cohort: its replica parameters
+// (owned by the dict when not checked out) and its data-size weight for
+// the weighted ensemble.
+type member struct {
+	id     int
+	state  nn.StateDict
+	weight int
+}
+
+// replicaSlot is one pooled live module of a cohort, with the state
+// binding and optimiser that serve whichever member is swapped in.
+type replicaSlot struct {
+	module  nn.Module
+	binding *nn.StateBinding
+	opt     *optim.SGD
+}
+
+// cohort groups every registered device that shares one architecture.
+type cohort struct {
+	arch    string
+	build   func() (nn.Module, error)
+	members []*member
+	pool    []*replicaSlot
+}
+
+// slot returns the i-th pooled live module, growing the pool on demand.
+// Pool modules carry no meaningful values of their own — a checkout always
+// swaps a member's state in before use — so their build RNG is arbitrary.
+func (c *cohort) slot(i int, lr float64) *replicaSlot {
+	for len(c.pool) <= i {
+		m, err := c.build()
+		if err != nil {
+			// The first build of this architecture succeeded at
+			// registration, so a later identical build cannot fail.
+			panic(fmt.Sprintf("fedzkt: rebuilding %q replica: %v", c.arch, err))
+		}
+		c.pool = append(c.pool, &replicaSlot{
+			module:  m,
+			binding: nn.BindState(m),
+			opt:     optim.NewSGD(m.Params(), lr, 0, 0),
+		})
+	}
+	return c.pool[i]
+}
+
+// deviceRef locates a device's cohort and member record by id.
+type deviceRef struct {
+	cohort *cohort
+	member *member
+}
+
+// replicaLease is a checked-out replica: a pooled live module currently
+// holding the member's state, until release swaps it back out.
+type replicaLease struct {
+	member *member
+	slot   *replicaSlot
+}
+
+// cohortSet is the server's replica registry: every cohort, indexed by
+// architecture and by device id.
+type cohortSet struct {
+	byArch  map[string]*cohort
+	cohorts []*cohort
+	devices []deviceRef
+	lr      float64
+	// retain bounds how many pooled live modules each cohort keeps after a
+	// release (0 = unbounded). Checkouts may grow pools past the bound
+	// transiently when an iteration needs more members resident at once.
+	retain int
+}
+
+func newCohortSet(lr float64, retain int) *cohortSet {
+	return &cohortSet{byArch: make(map[string]*cohort), lr: lr, retain: retain}
+}
+
+// add registers a device: the module carries the device's initial replica
+// values, and its tensors become the member's state dict (the module
+// object itself is discarded, so registration allocates the parameter data
+// exactly once).
+func (cs *cohortSet) add(arch string, m nn.Module, weight int, build func() (nn.Module, error)) int {
+	c, ok := cs.byArch[arch]
+	if !ok {
+		c = &cohort{arch: arch, build: build}
+		cs.byArch[arch] = c
+		cs.cohorts = append(cs.cohorts, c)
+	}
+	mem := &member{id: len(cs.devices), state: nn.CaptureState(m), weight: weight}
+	c.members = append(c.members, mem)
+	cs.devices = append(cs.devices, deviceRef{cohort: c, member: mem})
+	return mem.id
+}
+
+// numDevices returns the number of registered devices.
+func (cs *cohortSet) numDevices() int { return len(cs.devices) }
+
+// numCohorts returns the number of distinct registered architectures.
+func (cs *cohortSet) numCohorts() int { return len(cs.cohorts) }
+
+// liveModules returns the total number of pooled live modules currently
+// retained across all cohorts (an observability hook for tests and the
+// scale experiment).
+func (cs *cohortSet) liveModules() int {
+	n := 0
+	for _, c := range cs.cohorts {
+		n += len(c.pool)
+	}
+	return n
+}
+
+// ref validates a device id.
+func (cs *cohortSet) ref(id int) (deviceRef, error) {
+	if id < 0 || id >= len(cs.devices) {
+		return deviceRef{}, fmt.Errorf("fedzkt: unknown device %d", id)
+	}
+	return cs.devices[id], nil
+}
+
+// weights returns every device's data-size weight in id order.
+func (cs *cohortSet) weights() []int {
+	out := make([]int, len(cs.devices))
+	for i, d := range cs.devices {
+		out[i] = d.member.weight
+	}
+	return out
+}
+
+// checkout makes the given devices resident: each member's state is
+// swapped into a pooled live module of its cohort and the module's
+// trainability/training flags are set for the requesting phase. The
+// returned leases follow the order of ids, which must be distinct. Every
+// checkout must be paired with exactly one release.
+func (cs *cohortSet) checkout(ids []int, trainable, training bool) []*replicaLease {
+	next := make(map[*cohort]int, len(cs.cohorts))
+	leases := make([]*replicaLease, len(ids))
+	for i, id := range ids {
+		ref, err := cs.ref(id)
+		if err != nil {
+			panic(err.Error()) // callers pass validated ids
+		}
+		si := next[ref.cohort]
+		next[ref.cohort] = si + 1
+		slot := ref.cohort.slot(si, cs.lr)
+		if err := slot.binding.Swap(ref.member.state); err != nil {
+			// Absorb and registration validate every state dict against the
+			// architecture, so a mismatch here is a programming error.
+			panic(fmt.Sprintf("fedzkt: checkout device %d: %v", id, err))
+		}
+		nn.SetTrainable(slot.module, trainable)
+		slot.module.SetTraining(training)
+		leases[i] = &replicaLease{member: ref.member, slot: slot}
+	}
+	return leases
+}
+
+// release swaps every leased member's (possibly updated) state back out to
+// its dict and trims each touched cohort's pool to the retention bound.
+func (cs *cohortSet) release(leases []*replicaLease) {
+	touched := make(map[*cohort]bool, len(cs.cohorts))
+	for _, l := range leases {
+		if err := l.slot.binding.Swap(l.member.state); err != nil {
+			panic(fmt.Sprintf("fedzkt: release device %d: %v", l.member.id, err))
+		}
+	}
+	for _, l := range leases {
+		c := cs.devices[l.member.id].cohort
+		if !touched[c] && cs.retain > 0 && len(c.pool) > cs.retain {
+			// Nil the trimmed entries before truncating: a plain
+			// re-slice would keep the dropped modules reachable through
+			// the backing array, silently defeating the memory cap.
+			for i := cs.retain; i < len(c.pool); i++ {
+				c.pool[i] = nil
+			}
+			c.pool = c.pool[:cs.retain]
+		}
+		touched[c] = true
+	}
+}
+
+// allIDs returns every registered device id in ascending order.
+func (cs *cohortSet) allIDs() []int {
+	ids := make([]int, len(cs.devices))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

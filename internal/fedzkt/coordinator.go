@@ -70,6 +70,30 @@ type Config struct {
 	// FailureRate injects per-device-round failures with this
 	// probability, deterministically in (Seed, round, device).
 	FailureRate float64
+	// TeachersPerIter, when positive, makes every server distillation
+	// iteration draw that many replica teachers for the ensemble loss —
+	// instead of forwarding every registered replica — and transfer
+	// knowledge back into a same-sized rotating window of replicas, so the
+	// per-iteration server cost is O(TeachersPerIter) rather than
+	// O(devices). 0 (the default) keeps the paper-exact full-ensemble
+	// semantics, byte-identical to the pre-cohort server.
+	TeachersPerIter int
+	// TeacherSampling selects how per-iteration teacher subsets are drawn
+	// when TeachersPerIter is set: "uniform" (the default) draws uniformly
+	// without replacement and averages teachers equally; "weighted" draws
+	// proportionally to device data size and weights the ensemble
+	// disagreement loss by data size too. "weighted" requires
+	// TeachersPerIter > 0 — the exact full-ensemble mode is defined as
+	// byte-identical to the pre-cohort server, which a weighted mean would
+	// break.
+	TeacherSampling string
+	// CohortReplicas bounds how many live replica modules each
+	// architecture cohort retains between distillation phases. 0 (the
+	// default) sizes the pools automatically: TeachersPerIter live modules
+	// per cohort in sampled mode, the full cohort in exact mode. Lower
+	// values cap server memory at the cost of rebuilding modules when an
+	// iteration needs more replicas resident than the bound.
+	CohortReplicas int
 	// GlobalArch names the server model architecture (default "global").
 	GlobalArch string
 	// Seed drives all randomness in the run.
@@ -126,6 +150,36 @@ func (c Config) withDefaults() Config {
 		c.EvalEvery = 1
 	}
 	return c
+}
+
+// Teacher-sampling policies for Config.TeacherSampling.
+const (
+	// TeacherSamplingUniform draws teacher subsets uniformly without
+	// replacement and averages them equally (also the "" default).
+	TeacherSamplingUniform = "uniform"
+	// TeacherSamplingWeighted draws teacher subsets proportionally to
+	// device data size and weights the ensemble loss by data size.
+	TeacherSamplingWeighted = "weighted"
+)
+
+// validateCohorts checks the cohort/teacher-sampling configuration.
+func (c Config) validateCohorts() error {
+	if c.TeachersPerIter < 0 {
+		return fmt.Errorf("fedzkt: negative TeachersPerIter %d", c.TeachersPerIter)
+	}
+	if c.CohortReplicas < 0 {
+		return fmt.Errorf("fedzkt: negative CohortReplicas %d", c.CohortReplicas)
+	}
+	switch c.TeacherSampling {
+	case "", TeacherSamplingUniform, TeacherSamplingWeighted:
+	default:
+		return fmt.Errorf("fedzkt: unknown TeacherSampling %q (want %q or %q)",
+			c.TeacherSampling, TeacherSamplingUniform, TeacherSamplingWeighted)
+	}
+	if c.TeacherSampling == TeacherSamplingWeighted && c.TeachersPerIter == 0 {
+		return fmt.Errorf("fedzkt: TeacherSampling %q requires TeachersPerIter > 0 (the exact full-ensemble mode is unweighted by definition)", c.TeacherSampling)
+	}
+	return nil
 }
 
 // poolWorkers is the worker bound for the run's parallel-for loops
@@ -200,9 +254,10 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 			return nil, fmt.Errorf("fedzkt: device %d has an empty shard", i)
 		}
 		dev := fed.NewDevice(i, arch, devModel, data.NewSubset(ds, shards[i]))
-		// Registration: the device announces its architecture and initial
-		// parameters; the server builds the matching replica.
-		id, err := server.Register(arch, nn.CaptureState(devModel))
+		// Registration: the device announces its architecture, initial
+		// parameters and data size; the server files the replica into the
+		// matching architecture cohort.
+		id, err := server.RegisterSized(arch, nn.CaptureState(devModel), len(shards[i]))
 		if err != nil {
 			return nil, err
 		}
@@ -294,10 +349,12 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		}
 
 		// 3. Server update (Algorithm 3).
+		serverStart := time.Now()
 		gn, err := c.server.Distill(round)
 		if err != nil {
 			return hist, err
 		}
+		m.ServerElapsed = time.Since(serverStart)
 		m.InputGradNorm = gn
 
 		// 4. Download: devices that completed the round receive their own

@@ -2,6 +2,7 @@ package fedzkt
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -87,6 +88,72 @@ func TestSchedulerDeterminismRepeatable(t *testing.T) {
 	b := goldenRun(t, func(c *Config) { c.Workers = 4; c.SampleWeighted = true })
 	if a != b {
 		t.Fatalf("repeat run diverged:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// preCohortGoldenFingerprint is the golden run's History.Fingerprint as
+// produced by the pre-cohort server (flat replicas, full ensemble),
+// recorded before the architecture-cohort refactor landed. The exact mode
+// (TeachersPerIter = 0) must keep reproducing it byte for byte: the cohort
+// subsystem, state swapping, and hoisted transfer-back constants are
+// required to be pure implementation changes.
+const preCohortGoldenFingerprint = "round=1 active=[1 2 3 5] dropped=[] injected=[] up=460512 down=460512 global=0.3888888888888889 mean=0.3703703703703703 gradnorm=0 dev=[0.4444444444444444 0.3333333333333333 0.3333333333333333 0.3333333333333333 0.3888888888888889 0.3888888888888889]\n" +
+	"round=2 active=[0 1 2 3] dropped=[] injected=[] up=839520 down=839520 global=0.3333333333333333 mean=0.39814814814814814 gradnorm=0 dev=[0.5555555555555556 0.4444444444444444 0.2777777777777778 0.3333333333333333 0.3888888888888889 0.3888888888888889]\n"
+
+// TestExactModeMatchesPreCohortFingerprint pins exact-mode equivalence
+// across the cohort refactor: the default TeachersPerIter=0 configuration
+// must reproduce the recorded pre-refactor fingerprint bit for bit. The
+// recorded constant is amd64 floating-point output; other architectures
+// may legally fuse multiply-adds, so the byte comparison is gated.
+func TestExactModeMatchesPreCohortFingerprint(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("pinned fingerprint recorded on amd64; GOARCH=%s may fuse FMAs", runtime.GOARCH)
+	}
+	got := goldenRun(t, func(c *Config) { c.Sequential = true })
+	if got != preCohortGoldenFingerprint {
+		t.Fatalf("exact mode diverged from the pre-cohort reference:\n--- recorded ---\n%s--- got ---\n%s",
+			preCohortGoldenFingerprint, got)
+	}
+	// A bounded cohort pool changes memory behaviour (modules are rebuilt
+	// on demand) but must not change a single bit of the arithmetic.
+	got = goldenRun(t, func(c *Config) { c.Sequential = true; c.CohortReplicas = 1 })
+	if got != preCohortGoldenFingerprint {
+		t.Fatalf("exact mode with CohortReplicas=1 diverged from the pre-cohort reference:\n--- recorded ---\n%s--- got ---\n%s",
+			preCohortGoldenFingerprint, got)
+	}
+}
+
+// TestSchedulerDeterminismGoldenSampledTeachers extends the golden test to
+// the sampled-teacher server: with TeachersPerIter set, the fingerprint
+// must still be byte-identical between the sequential reference scheduler
+// and the parallel pool at every worker count, for both sampling policies.
+func TestSchedulerDeterminismGoldenSampledTeachers(t *testing.T) {
+	for _, sampling := range []string{TeacherSamplingUniform, TeacherSamplingWeighted} {
+		sampling := sampling
+		t.Run(sampling, func(t *testing.T) {
+			mutate := func(c *Config) {
+				c.TeachersPerIter = 2
+				c.TeacherSampling = sampling
+			}
+			ref := goldenRun(t, func(c *Config) { mutate(c); c.Sequential = true })
+			if ref == "" {
+				t.Fatal("empty reference fingerprint")
+			}
+			if exact := goldenRun(t, func(c *Config) { c.Sequential = true }); exact == ref {
+				t.Fatal("sampled-teacher run unexpectedly identical to the full ensemble")
+			}
+			workerCounts := []int{1, 3, 8}
+			if testing.Short() {
+				workerCounts = []int{1, 4}
+			}
+			for _, w := range workerCounts {
+				got := goldenRun(t, func(c *Config) { mutate(c); c.Workers = w })
+				if got != ref {
+					t.Fatalf("sampling=%s workers=%d fingerprint diverges from sequential reference:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+						sampling, w, ref, w, got)
+				}
+			}
+		})
 	}
 }
 

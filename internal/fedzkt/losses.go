@@ -93,6 +93,75 @@ func Disagreement(kind LossKind, student *ag.Variable, teachers []*ag.Variable) 
 	}
 }
 
+// DisagreementWeighted is Disagreement with a weighted ensemble mean: the
+// teacher aggregate becomes Σ w̄_k f(v_k) with w̄ the normalised weights,
+// as in weighted ensemble-transfer schemes (Fed-ET). A nil weight slice —
+// or one whose entries are all equal — takes the exact uniform-mean code
+// path of Disagreement, so the paper-exact mode is byte-identical to the
+// unweighted loss. Weights must be non-negative with a positive sum.
+func DisagreementWeighted(kind LossKind, student *ag.Variable, teachers []*ag.Variable, weights []float64) *ag.Variable {
+	if weights == nil {
+		return Disagreement(kind, student, teachers)
+	}
+	if len(weights) != len(teachers) {
+		panic(fmt.Sprintf("fedzkt: %d weights for %d teachers", len(weights), len(teachers)))
+	}
+	if len(teachers) == 0 {
+		panic("fedzkt: Disagreement with no teachers")
+	}
+	norm, uniform := normalizeWeights(weights)
+	if uniform {
+		return Disagreement(kind, student, teachers)
+	}
+	n := float64(student.Shape()[0])
+	switch kind {
+	case LossSL:
+		pbar := weightedMeanOf(teachers, norm, ag.Softmax)
+		diff := ag.Sub(ag.Softmax(student), pbar)
+		return ag.Scale(1/n, ag.SumAll(ag.Abs(diff)))
+	case LossKL:
+		p := ag.Softmax(student)
+		logP := ag.LogSoftmax(student)
+		q := weightedMeanOf(teachers, norm, ag.Softmax)
+		terms := ag.Mul(p, ag.Sub(logP, ag.Log(q)))
+		return ag.Scale(1/n, ag.SumAll(terms))
+	case LossL1:
+		vbar := weightedMeanOf(teachers, norm, func(v *ag.Variable) *ag.Variable { return v })
+		diff := ag.Sub(student, vbar)
+		return ag.Scale(1/n, ag.SumAll(ag.Abs(diff)))
+	default:
+		panic(fmt.Sprintf("fedzkt: unknown loss kind %d", int(kind)))
+	}
+}
+
+// normalizeWeights scales weights to sum to one and reports whether they
+// were (exactly) uniform. Negative weights and all-zero totals are
+// programmer errors.
+func normalizeWeights(weights []float64) ([]float64, bool) {
+	total := 0.0
+	uniform := true
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("fedzkt: negative teacher weight %v", w))
+		}
+		if w != weights[0] {
+			uniform = false
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("fedzkt: teacher weights sum to zero")
+	}
+	if uniform {
+		return nil, true
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return norm, false
+}
+
 // meanOf averages f(teacher_k) over the ensemble.
 func meanOf(teachers []*ag.Variable, invK float64, f func(*ag.Variable) *ag.Variable) *ag.Variable {
 	acc := f(teachers[0])
@@ -102,19 +171,54 @@ func meanOf(teachers []*ag.Variable, invK float64, f func(*ag.Variable) *ag.Vari
 	return ag.Scale(invK, acc)
 }
 
-// DistillKL is the knowledge-transfer loss of Eq. 8: the KL divergence
-// KL(P_F ‖ P_student) between fixed teacher probabilities (the global
-// model's softmax outputs) and a student's logits, averaged over the
-// batch. Only the student receives gradients.
-func DistillKL(teacherProbs *tensor.Tensor, studentLogits *ag.Variable) *ag.Variable {
+// weightedMeanOf computes Σ w_i f(teacher_i) for normalised weights.
+func weightedMeanOf(teachers []*ag.Variable, w []float64, f func(*ag.Variable) *ag.Variable) *ag.Variable {
+	acc := ag.Scale(w[0], f(teachers[0]))
+	for i, t := range teachers[1:] {
+		acc = ag.Add(acc, ag.Scale(w[i+1], f(t)))
+	}
+	return acc
+}
+
+// DistillTargets holds the fixed teacher side of the knowledge-transfer
+// loss of Eq. 8, precomputed once per generated batch: the teacher
+// probabilities and their (floored) logs as shared constant leaves. One
+// DistillTargets serves every student replica distilled on the batch —
+// including concurrently, since constant leaves are read-only on both the
+// forward and backward pass.
+type DistillTargets struct {
+	probs    *ag.Variable
+	logProbs *ag.Variable
+	n        float64
+}
+
+// NewDistillTargets prepares the teacher side from the global model's
+// softmax outputs (N×D).
+func NewDistillTargets(teacherProbs *tensor.Tensor) *DistillTargets {
 	if teacherProbs.Dims() != 2 {
 		panic(fmt.Sprintf("fedzkt: DistillKL teacher probs must be 2-D, got %v", teacherProbs.Shape()))
 	}
-	n := float64(teacherProbs.Dim(0))
-	logT := tensor.Apply(teacherProbs, safeLog)
-	p := ag.Const(teacherProbs)
-	terms := ag.Mul(p, ag.Sub(ag.Const(logT), ag.LogSoftmax(studentLogits)))
-	return ag.Scale(1/n, ag.SumAll(terms))
+	return &DistillTargets{
+		probs:    ag.Const(teacherProbs),
+		logProbs: ag.Const(tensor.Apply(teacherProbs, safeLog)),
+		n:        float64(teacherProbs.Dim(0)),
+	}
+}
+
+// Loss evaluates KL(P_F ‖ P_student) against a student's logits, averaged
+// over the batch. Only the student receives gradients.
+func (t *DistillTargets) Loss(studentLogits *ag.Variable) *ag.Variable {
+	terms := ag.Mul(t.probs, ag.Sub(t.logProbs, ag.LogSoftmax(studentLogits)))
+	return ag.Scale(1/t.n, ag.SumAll(terms))
+}
+
+// DistillKL is the knowledge-transfer loss of Eq. 8: the KL divergence
+// KL(P_F ‖ P_student) between fixed teacher probabilities (the global
+// model's softmax outputs) and a student's logits, averaged over the
+// batch. Callers distilling many students on one batch should prepare a
+// DistillTargets once instead.
+func DistillKL(teacherProbs *tensor.Tensor, studentLogits *ag.Variable) *ag.Variable {
+	return NewDistillTargets(teacherProbs).Loss(studentLogits)
 }
 
 func safeLog(v float64) float64 {

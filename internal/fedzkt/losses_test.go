@@ -178,6 +178,106 @@ func TestDistillKL(t *testing.T) {
 	}
 }
 
+// TestDisagreementWeightedUniformIsExact pins the exact-mode guarantee at
+// the loss level: nil weights and all-equal weights must produce the very
+// same bits as the unweighted mean (they take its code path), for every
+// loss kind.
+func TestDisagreementWeightedUniformIsExact(t *testing.T) {
+	u := randLogits(20, 4, 6, 1)
+	v1 := randLogits(21, 4, 6, 1)
+	v2 := randLogits(22, 4, 6, 1)
+	v3 := randLogits(23, 4, 6, 1)
+	for _, kind := range []LossKind{LossSL, LossKL, LossL1} {
+		ts := teachers(ag.Const(v1), ag.Const(v2), ag.Const(v3))
+		want := Disagreement(kind, ag.Const(u), ts).Value().Data()[0]
+		for _, w := range [][]float64{nil, {1, 1, 1}, {7, 7, 7}} {
+			got := DisagreementWeighted(kind, ag.Const(u), ts, w).Value().Data()[0]
+			if got != want {
+				t.Fatalf("%v weights=%v: %g != unweighted %g", kind, w, got, want)
+			}
+		}
+	}
+}
+
+func TestDisagreementWeightedSkewsTowardHeavyTeacher(t *testing.T) {
+	u := randLogits(24, 3, 5, 1)
+	heavy := randLogits(25, 3, 5, 1)
+	light := randLogits(26, 3, 5, 1)
+	for _, kind := range []LossKind{LossSL, LossKL, LossL1} {
+		// With nearly all the weight on one teacher, the weighted ensemble
+		// loss must approach the single-teacher loss against it.
+		ts := teachers(ag.Const(heavy), ag.Const(light))
+		skewed := DisagreementWeighted(kind, ag.Const(u), ts, []float64{1e6, 1}).Value().Data()[0]
+		alone := Disagreement(kind, ag.Const(u), teachers(ag.Const(heavy))).Value().Data()[0]
+		if math.Abs(skewed-alone) > 1e-4 {
+			t.Fatalf("%v: weight-dominated loss %g, single-teacher loss %g", kind, skewed, alone)
+		}
+		// And it must differ from the uniform mean when teachers disagree.
+		uniform := Disagreement(kind, ag.Const(u), ts).Value().Data()[0]
+		if skewed == uniform {
+			t.Fatalf("%v: weighting had no effect", kind)
+		}
+	}
+}
+
+func TestDisagreementWeightedGradcheck(t *testing.T) {
+	for _, kind := range []LossKind{LossSL, LossKL, LossL1} {
+		u := ag.Param(randLogits(27, 3, 4, 1))
+		v1 := ag.Param(randLogits(28, 3, 4, 1))
+		v2 := ag.Param(randLogits(29, 3, 4, 1))
+		w := []float64{3, 1}
+		build := func() *ag.Variable { return DisagreementWeighted(kind, u, teachers(v1, v2), w) }
+		ag.Backward(build())
+		for name, leaf := range map[string]*ag.Variable{"student": u, "teacher1": v1, "teacher2": v2} {
+			analytic := leaf.Grad()
+			if analytic == nil {
+				t.Fatalf("%v: %s has no grad", kind, name)
+			}
+			numeric := numGrad(leaf.Value(), func() float64 { return build().Value().Data()[0] })
+			if d := tensor.MaxAbsDiff(analytic, numeric); d > 2e-5 {
+				t.Errorf("%v: %s gradient off by %g", kind, name, d)
+			}
+		}
+	}
+}
+
+func TestDisagreementWeightedPanics(t *testing.T) {
+	u := ag.Const(randLogits(30, 2, 3, 1))
+	v := ag.Const(randLogits(31, 2, 3, 1))
+	for name, fn := range map[string]func(){
+		"weight count mismatch": func() { DisagreementWeighted(LossSL, u, teachers(v), []float64{1, 2}) },
+		"negative weight":       func() { DisagreementWeighted(LossSL, u, teachers(v, v), []float64{1, -1}) },
+		"zero-sum weights":      func() { DisagreementWeighted(LossSL, u, teachers(v, v), []float64{0, 0}) },
+		"no teachers":           func() { DisagreementWeighted(LossSL, u, nil, []float64{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDistillTargetsMatchesDistillKL: the hoisted per-batch teacher side
+// must produce the same bits as the one-shot helper, for any number of
+// students.
+func TestDistillTargetsMatchesDistillKL(t *testing.T) {
+	logits := randLogits(32, 4, 5, 1)
+	probs := ag.SoftmaxRows(logits)
+	targets := NewDistillTargets(probs)
+	for seed := uint64(33); seed < 36; seed++ {
+		student := randLogits(seed, 4, 5, 1)
+		want := DistillKL(probs, ag.Const(student)).Value().Data()[0]
+		got := targets.Loss(ag.Const(student)).Value().Data()[0]
+		if got != want {
+			t.Fatalf("seed %d: DistillTargets.Loss = %g, DistillKL = %g", seed, got, want)
+		}
+	}
+}
+
 func TestDisagreementPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

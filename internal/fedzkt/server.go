@@ -2,6 +2,7 @@ package fedzkt
 
 import (
 	"fmt"
+	"math/rand/v2"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -14,17 +15,23 @@ import (
 )
 
 // Server is the FedZKT server side in isolation: the global model F, the
-// generator G, and one replica per registered device architecture. It
-// implements the two ServerUpdate phases of Algorithm 3 and is shared by
-// the in-process Coordinator and the networked transport binaries.
+// generator G, and one replica per registered device, organised into
+// architecture cohorts (see cohort.go). It implements the two ServerUpdate
+// phases of Algorithm 3 and is shared by the in-process Coordinator and
+// the networked transport binaries.
+//
+// With TeachersPerIter = 0 (the default) the server runs the paper-exact
+// full-ensemble semantics, byte-identical to the pre-cohort
+// implementation. With TeachersPerIter = T > 0 each distillation iteration
+// draws T replica teachers (uniformly or weighted by device data size) and
+// transfers knowledge back into a rotating T-wide window of replicas, so
+// the per-iteration server cost is O(T) rather than O(devices).
 type Server struct {
 	cfg Config
 	in  model.Shape
 	cls int
 
-	replicas    []nn.Module
-	replicaOpts []*optim.SGD
-	archs       []string
+	cohorts *cohortSet
 
 	global      nn.Module
 	gen         *model.Generator
@@ -38,16 +45,28 @@ type Server struct {
 // shape + class count). Devices are registered afterwards.
 func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateCohorts(); err != nil {
+		return nil, err
+	}
 	global, err := model.Build(cfg.GlobalArch, in, classes, tensor.NewRand(cfg.Seed+7))
 	if err != nil {
 		return nil, fmt.Errorf("fedzkt: global model: %w", err)
 	}
+	retain := cfg.CohortReplicas
+	if retain == 0 {
+		// Automatic retention: sampled mode never needs more than
+		// TeachersPerIter live modules per cohort resident at once; exact
+		// mode keeps the full cohort pooled (legacy behaviour, no per-round
+		// rebuilds).
+		retain = cfg.TeachersPerIter
+	}
 	s := &Server{
-		cfg:    cfg,
-		in:     in,
-		cls:    classes,
-		global: global,
-		gen:    model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
+		cfg:     cfg,
+		in:      in,
+		cls:     classes,
+		cohorts: newCohortSet(cfg.ServerLR, retain),
+		global:  global,
+		gen:     model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
 	}
 	s.globalOpt = optim.NewSGD(global.Params(), cfg.ServerLR, 0.9, 0)
 	s.genOpt = optim.NewAdam(s.gen.Params(), cfg.GenLR)
@@ -67,13 +86,34 @@ func (s *Server) Global() nn.Module { return s.global }
 func (s *Server) Generator() *model.Generator { return s.gen }
 
 // NumDevices returns the number of registered devices.
-func (s *Server) NumDevices() int { return len(s.replicas) }
+func (s *Server) NumDevices() int { return s.cohorts.numDevices() }
+
+// NumCohorts returns the number of distinct registered architectures.
+func (s *Server) NumCohorts() int { return s.cohorts.numCohorts() }
+
+// LiveReplicas returns how many live replica modules the cohort pools
+// currently retain — the server-memory quantity the cohort refactor
+// bounds (per-device parameter data always stays resident in state
+// dicts).
+func (s *Server) LiveReplicas() int { return s.cohorts.liveModules() }
 
 // Register adds a device with the given architecture and initial state,
-// returning its assigned id. The server builds its own replica of the
-// architecture and installs the device's initial parameters.
+// returning its assigned id, with a data-size weight of 1. See
+// RegisterSized.
 func (s *Server) Register(arch string, initial nn.StateDict) (int, error) {
-	id := len(s.replicas)
+	return s.RegisterSized(arch, initial, 1)
+}
+
+// RegisterSized adds a device with the given architecture, initial state,
+// and data-size weight (typically its shard size), returning its assigned
+// id. The server stores the device's parameters in its architecture
+// cohort and installs the initial parameters when given; with a nil
+// initial state the replica keeps a seeded random initialisation.
+func (s *Server) RegisterSized(arch string, initial nn.StateDict, dataSize int) (int, error) {
+	id := s.cohorts.numDevices()
+	if dataSize < 0 {
+		return 0, fmt.Errorf("fedzkt: register device %d: negative data size %d", id, dataSize)
+	}
 	replica, err := model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(1000+id)))
 	if err != nil {
 		return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
@@ -83,37 +123,53 @@ func (s *Server) Register(arch string, initial nn.StateDict) (int, error) {
 			return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
 		}
 	}
-	s.replicas = append(s.replicas, replica)
-	s.replicaOpts = append(s.replicaOpts, optim.NewSGD(replica.Params(), s.cfg.ServerLR, 0, 0))
-	s.archs = append(s.archs, arch)
-	return id, nil
+	build := func() (nn.Module, error) {
+		// Pool modules are state-swapped before every use, so their own
+		// initial values never matter; the RNG only has to be valid.
+		return model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(2000+id)))
+	}
+	return s.cohorts.add(arch, replica, dataSize, build), nil
 }
 
-// Absorb installs a device's uploaded parameters into its server replica.
+// Absorb installs a device's uploaded parameters into its server replica,
+// validating the state-dict keys and tensor sizes against the stored
+// replica so a drifted architecture fails loudly.
 func (s *Server) Absorb(id int, upload nn.StateDict) error {
-	if id < 0 || id >= len(s.replicas) {
-		return fmt.Errorf("fedzkt: absorb: unknown device %d", id)
+	ref, err := s.cohorts.ref(id)
+	if err != nil {
+		return fmt.Errorf("fedzkt: absorb: %w", err)
 	}
-	if err := nn.LoadState(s.replicas[id], upload); err != nil {
+	if err := ref.member.state.LoadFrom(upload); err != nil {
 		return fmt.Errorf("fedzkt: absorb device %d: %w", id, err)
 	}
 	return nil
 }
 
 // ReplicaState returns a deep copy of device id's replica parameters (the
-// download payload).
+// download payload). The cohort slot already owns the canonical values,
+// so exactly one copy is made.
 func (s *Server) ReplicaState(id int) (nn.StateDict, error) {
-	if id < 0 || id >= len(s.replicas) {
-		return nil, fmt.Errorf("fedzkt: unknown device %d", id)
+	ref, err := s.cohorts.ref(id)
+	if err != nil {
+		return nil, err
 	}
-	return nn.CaptureState(s.replicas[id]).Clone(), nil
+	return ref.member.state.Clone(), nil
+}
+
+// DeviceArch returns the architecture device id registered with.
+func (s *Server) DeviceArch(id int) (string, error) {
+	ref, err := s.cohorts.ref(id)
+	if err != nil {
+		return "", err
+	}
+	return ref.cohort.arch, nil
 }
 
 // Distill runs both ServerUpdate phases of Algorithm 3 for one round:
-// adversarial zero-shot distillation into F, then transfer back into every
-// replica. It returns the mean per-sample ‖∇ₓL‖ when probing is enabled.
+// adversarial zero-shot distillation into F, then transfer back into the
+// replicas. It returns the mean per-sample ‖∇ₓL‖ when probing is enabled.
 func (s *Server) Distill(round int) (float64, error) {
-	if len(s.replicas) == 0 {
+	if s.cohorts.numDevices() == 0 {
 		return 0, fmt.Errorf("fedzkt: distill with no registered devices")
 	}
 	gn := s.adversarialPhase(round)
@@ -121,27 +177,94 @@ func (s *Server) Distill(round int) (float64, error) {
 	return gn, nil
 }
 
+// teachersPerIter returns the effective per-iteration teacher count: 0 for
+// the exact full-ensemble mode, otherwise TeachersPerIter clamped to the
+// federation size.
+func (s *Server) teachersPerIter() int {
+	t := s.cfg.TeachersPerIter
+	if n := s.cohorts.numDevices(); t > n {
+		t = n
+	}
+	return t
+}
+
+// teacherSampler builds the per-iteration teacher-subset policy from the
+// configured sampling mode, reusing the round scheduler's client-sampling
+// policies.
+func (s *Server) teacherSampler(t int) sched.Sampler {
+	if s.cfg.TeacherSampling == TeacherSamplingWeighted {
+		smp, err := sched.NewWeightedByData(s.cohorts.weights(), t)
+		if err != nil {
+			panic(fmt.Sprintf("fedzkt: teacher sampler: %v", err)) // weights validated at registration
+		}
+		return smp
+	}
+	smp, err := sched.NewUniformK(t)
+	if err != nil {
+		panic(fmt.Sprintf("fedzkt: teacher sampler: %v", err)) // t > 0 by construction
+	}
+	return smp
+}
+
+// teacherWeights returns the normalised data-size weights of the given
+// leases when weighted teacher sampling is configured, or nil for the
+// uniform (paper-exact) ensemble mean.
+func (s *Server) teacherWeights(leases []*replicaLease) []float64 {
+	if s.cfg.TeacherSampling != TeacherSamplingWeighted {
+		return nil
+	}
+	w := make([]float64, len(leases))
+	total := 0.0
+	for i, l := range leases {
+		w[i] = float64(l.member.weight)
+		total += w[i]
+	}
+	if total == 0 {
+		// Every drawn teacher has zero data weight: fall back to the
+		// uniform mean rather than dividing by zero.
+		return nil
+	}
+	return w
+}
+
 // adversarialPhase is the first half of Algorithm 3: alternating generator
-// (max) and global model (min) steps on the disagreement loss.
+// (max) and global model (min) steps on the disagreement loss over the
+// frozen teacher ensemble — the full ensemble in exact mode, a freshly
+// sampled T-subset per iteration in sampled mode.
 func (s *Server) adversarialPhase(round int) float64 {
 	cfg := s.cfg
 	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xADE))
 
-	// Teachers are fixed functions this round: frozen and in eval mode.
-	for _, r := range s.replicas {
-		nn.SetTrainable(r, false)
-		r.SetTraining(false)
+	t := s.teachersPerIter()
+	var sampler sched.Sampler
+	var teacherRNG *rand.Rand
+	if t > 0 {
+		sampler = s.teacherSampler(t)
+		// The teacher draw uses its own stream so the generator's z draws
+		// stay on the same sequence as the exact mode.
+		teacherRNG = tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0x7EAC))
 	}
-	defer func() {
-		for _, r := range s.replicas {
-			nn.SetTrainable(r, true)
-		}
-	}()
+
+	// Teachers are fixed functions this round: frozen and in eval mode.
+	// In exact mode the whole ensemble stays resident for the phase, as in
+	// the pre-cohort implementation.
+	var phaseLeases []*replicaLease
+	if t == 0 {
+		phaseLeases = s.cohorts.checkout(s.cohorts.allIDs(), false, false)
+		defer s.cohorts.release(phaseLeases)
+	}
 	s.gen.SetTraining(true)
 
 	gradNormSum, gradNormCount := 0.0, 0
 
 	for it := 0; it < cfg.DistillIters; it++ {
+		teachers := phaseLeases
+		if t > 0 {
+			ids := sampler.Sample(s.cohorts.numDevices(), teacherRNG)
+			teachers = s.cohorts.checkout(ids, false, false)
+		}
+		weights := s.teacherWeights(teachers)
+
 		// --- Generator step: maximise disagreement (lines 4-7). ---
 		// F is a fixed function during the adversary's move: frozen
 		// parameters and frozen batch-norm statistics, so the generator
@@ -151,7 +274,7 @@ func (s *Server) adversarialPhase(round int) float64 {
 		s.global.SetTraining(false)
 		z := ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
 		x := s.gen.Forward(z)
-		loss := s.disagreement(x)
+		loss := s.disagreement(x, teachers, weights)
 		lg := ag.Scale(-1, loss)
 		s.genOpt.ZeroGrad()
 		ag.Backward(lg)
@@ -164,18 +287,23 @@ func (s *Server) adversarialPhase(round int) float64 {
 		nn.SetTrainable(s.global, true)
 		s.global.SetTraining(true)
 
-		// --- Global model step(s): minimise disagreement (lines 9-12). ---
+		// --- Global model step(s): minimise disagreement (lines 9-12),
+		// against the same teacher subset as this iteration's generator
+		// step. ---
 		nn.SetTrainable(s.gen, false)
 		for st := 0; st < cfg.StudentSteps; st++ {
 			z = ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
 			x = s.gen.Forward(z)
-			loss = s.disagreement(x)
+			loss = s.disagreement(x, teachers, weights)
 			s.globalOpt.ZeroGrad()
 			ag.Backward(loss)
 			s.globalOpt.Step()
 		}
 		nn.SetTrainable(s.gen, true)
 
+		if t > 0 {
+			s.cohorts.release(teachers)
+		}
 		s.globalSched.Tick()
 		s.genSched.Tick()
 	}
@@ -185,19 +313,41 @@ func (s *Server) adversarialPhase(round int) float64 {
 	return gradNormSum / float64(gradNormCount)
 }
 
-// disagreement evaluates L(F(x), f_ens(x)) over the frozen replica
-// ensemble.
-func (s *Server) disagreement(x *ag.Variable) *ag.Variable {
+// disagreement evaluates L(F(x), f_ens(x)) over the resident teacher
+// leases, in lease order (ascending device id).
+func (s *Server) disagreement(x *ag.Variable, teachers []*replicaLease, weights []float64) *ag.Variable {
 	student := s.global.Forward(x)
-	teachers := make([]*ag.Variable, len(s.replicas))
-	for i, r := range s.replicas {
-		teachers[i] = r.Forward(x)
+	outs := make([]*ag.Variable, len(teachers))
+	for i, l := range teachers {
+		outs[i] = l.slot.module.Forward(x)
 	}
-	return Disagreement(s.cfg.Loss, student, teachers)
+	return DisagreementWeighted(s.cfg.Loss, student, outs, weights)
+}
+
+// transferBackIDs returns the replica ids iteration it of round round
+// distils into: every device in exact mode, or a rotating t-wide window
+// in sampled mode. The window position advances with the absolute
+// iteration index across rounds (not just within one round), so coverage
+// keeps cycling through the whole federation even when a single round's
+// DistillIters × t budget is smaller than the device count.
+func (s *Server) transferBackIDs(round, it, t int) []int {
+	n := s.cohorts.numDevices()
+	if t == 0 || t >= n {
+		return s.cohorts.allIDs()
+	}
+	start := (((round-1)*s.cfg.DistillIters + it) * t) % n
+	if start < 0 {
+		start += n
+	}
+	ids := make([]int, t)
+	for j := range ids {
+		ids[j] = (start + j) % n
+	}
+	return ids
 }
 
 // transferBackPhase is the second half of Algorithm 3 (lines 15-21):
-// distil the updated global model back into every replica using the
+// distil the updated global model back into the replicas using the
 // trained generator and the KL loss of Eq. 8.
 func (s *Server) transferBackPhase(round int) {
 	cfg := s.cfg
@@ -214,25 +364,42 @@ func (s *Server) transferBackPhase(round int) {
 		s.gen.SetTraining(true)
 		s.global.SetTraining(true)
 	}()
-	for _, r := range s.replicas {
-		r.SetTraining(true)
+
+	t := s.teachersPerIter()
+	var phaseLeases []*replicaLease
+	if t == 0 {
+		phaseLeases = s.cohorts.checkout(s.cohorts.allIDs(), true, true)
+		defer s.cohorts.release(phaseLeases)
 	}
 
 	for it := 0; it < cfg.DistillIters; it++ {
 		x := s.gen.Forward(ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))).Value()
-		teacherProbs := ag.SoftmaxRows(s.global.Forward(ag.Const(x)).Value())
+		// The generated batch and the teacher's distillation targets are
+		// shared read-only constants: wrap and precompute them once per
+		// iteration instead of once per replica.
+		xc := ag.Const(x)
+		targets := NewDistillTargets(ag.SoftmaxRows(s.global.Forward(xc).Value()))
 
-		// One independent distillation step per replica, bounded to the
-		// configured worker count so a 1,000-device federation does not
-		// spawn 1,000 goroutines (and to a single goroutine under the
+		batch := phaseLeases
+		if t > 0 {
+			batch = s.cohorts.checkout(s.transferBackIDs(round, it, t), true, true)
+		}
+
+		// One independent distillation step per resident replica, bounded
+		// to the configured worker count so a 1,000-device federation does
+		// not spawn 1,000 goroutines (and to a single goroutine under the
 		// reference sequential scheduler).
-		sched.ForEach(len(s.replicas), cfg.poolWorkers(), func(kIdx int) {
-			student := s.replicas[kIdx].Forward(ag.Const(x))
-			loss := DistillKL(teacherProbs, student)
-			s.replicaOpts[kIdx].ZeroGrad()
+		sched.ForEach(len(batch), cfg.poolWorkers(), func(i int) {
+			l := batch[i]
+			loss := targets.Loss(l.slot.module.Forward(xc))
+			l.slot.opt.ZeroGrad()
 			ag.Backward(loss)
-			s.replicaOpts[kIdx].Step()
+			l.slot.opt.Step()
 		})
+
+		if t > 0 {
+			s.cohorts.release(batch)
+		}
 	}
 }
 

@@ -60,16 +60,80 @@ func TestServerAbsorbErrors(t *testing.T) {
 	if err := srv.Absorb(0, nil); err == nil {
 		t.Fatal("want error for unknown device id")
 	}
+	if err := srv.Absorb(-1, nil); err == nil {
+		t.Fatal("want error for negative device id")
+	}
 	if _, err := srv.Register("mlp", nil); err != nil {
 		t.Fatal(err)
+	}
+	if err := srv.Absorb(1, nil); err == nil {
+		t.Fatal("want error for out-of-range device id")
 	}
 	// Wrong-architecture upload must fail loudly.
 	other := model.MustBuild("cnn", tinyShape(), 4, tensor.NewRand(2))
 	if err := srv.Absorb(0, nn.CaptureState(other)); err == nil {
 		t.Fatal("want error for mismatched state dict")
 	}
+	// A renamed key with the right sizes must fail too, and the failed
+	// absorb must not corrupt the stored replica.
+	before, _ := srv.ReplicaState(0)
+	bad := before.Clone()
+	name := bad.Names()[0]
+	bad["not-"+name] = bad[name]
+	delete(bad, name)
+	if err := srv.Absorb(0, bad); err == nil {
+		t.Fatal("want error for renamed state-dict key")
+	}
+	after, _ := srv.ReplicaState(0)
+	for n, want := range before {
+		if tensor.MaxAbsDiff(after[n], want) != 0 {
+			t.Fatalf("failed absorb mutated replica state %q", n)
+		}
+	}
 	if _, err := srv.ReplicaState(5); err == nil {
 		t.Fatal("want error for out-of-range replica")
+	}
+	if _, err := srv.ReplicaState(-1); err == nil {
+		t.Fatal("want error for negative replica id")
+	}
+}
+
+// TestServerSampledDistillKeepsEverythingFinite exercises the sampled
+// teacher path at the server level, including weighted sampling.
+func TestServerSampledDistillKeepsEverythingFinite(t *testing.T) {
+	for _, sampling := range []string{TeacherSamplingUniform, TeacherSamplingWeighted} {
+		cfg := tinyConfig()
+		cfg.DistillIters = 4
+		cfg.TeachersPerIter = 2
+		cfg.TeacherSampling = sampling
+		srv, err := NewServer(cfg, tinyShape(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, arch := range []string{"mlp", "lenet-s", "mlp"} {
+			if _, err := srv.RegisterSized(arch, nil, 5*(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := srv.Distill(1); err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < srv.NumDevices(); id++ {
+			sd, err := srv.ReplicaState(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, v := range sd {
+				if !v.IsFinite() {
+					t.Fatalf("sampling=%s device %d state %q non-finite", sampling, id, name)
+				}
+			}
+		}
+		for _, p := range srv.Global().Params() {
+			if !p.Value().IsFinite() {
+				t.Fatalf("sampling=%s global parameters non-finite", sampling)
+			}
+		}
 	}
 }
 
