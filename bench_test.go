@@ -10,12 +10,14 @@
 package fedzkt_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/tensor"
@@ -201,7 +203,7 @@ func benchDistillServer(b *testing.B, teachersPerIter int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := srv.Distill(i + 1); err != nil {
+		if _, err := srv.Distill(context.Background(), i+1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,6 +218,52 @@ func BenchmarkServerDistill100FullEnsemble(b *testing.B) { benchDistillServer(b,
 // (and an 8-wide rotating transfer-back window). The acceptance bar for
 // the cohort refactor is ≥ 5× over the full ensemble at 100 replicas.
 func BenchmarkServerDistill100Teachers8(b *testing.B) { benchDistillServer(b, 8) }
+
+// benchPipelinedRound runs a full 100-device federation end to end at the
+// given pipeline depth: a full-ensemble server phase (the non-trivial
+// server work the pipeline is meant to hide) against 16 sampled devices
+// per round. Depth 0 is the synchronous barrier; depth 2 overlaps the
+// server's distillation with the next rounds' on-device training. The
+// wall-time gap between the two is the pipeline's win and needs a spare
+// core to materialise — on a single-core host the two arms time within
+// noise of each other, which is the engine's no-overhead bound.
+func benchPipelinedRound(b *testing.B, depth int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runPipelinedFederation(b, depth, uint64(i+1))
+	}
+}
+
+// runPipelinedFederation builds and runs one 100-device federation.
+func runPipelinedFederation(b *testing.B, depth int, seed uint64) {
+	b.Helper()
+	ds := data.SynthMNIST(fedzkt.Sizes{TrainPerClass: 21, TestPerClass: 10}, seed)
+	shards := fedzkt.PartitionIID(ds.NumTrain(), 100, seed+1)
+	co, err := fedzkt.New(fedzkt.Config{
+		Rounds: 3, LocalEpochs: 1, DistillIters: 3, StudentSteps: 1,
+		DistillBatch: 8, BatchSize: 8, ZDim: 16,
+		DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9,
+		Seed: seed, SampleK: 16, Workers: 0,
+		TeachersPerIter: 0, // full ensemble: the heavy server phase under test
+		PipelineDepth:   depth,
+		EvalEvery:       3,
+	}, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := co.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelinedRoundDepth0 is the synchronous-barrier baseline at
+// 100 devices with a full-ensemble server phase.
+func BenchmarkPipelinedRoundDepth0(b *testing.B) { benchPipelinedRound(b, 0) }
+
+// BenchmarkPipelinedRoundDepth2 is the same federation with two rounds in
+// flight on the staged pipelined engine.
+func BenchmarkPipelinedRoundDepth2(b *testing.B) { benchPipelinedRound(b, 2) }
 
 // --- Substrate micro-benchmarks ---
 

@@ -44,6 +44,7 @@ func run(args []string) error {
 		teachersPerIter = fs.Int("teachers-per-iter", 0, "server: replica teachers sampled per distillation iteration (0 = paper-exact full ensemble; -exp scale always compares full vs sampled and sizes the sampled arm with this, defaulting to 8)")
 		teacherSampling = fs.String("teacher-sampling", "", "server: teacher-subset policy, uniform or weighted (by device data size)")
 		cohortReplicas  = fs.Int("cohort-replicas", 0, "server: live replica modules retained per architecture cohort (0 = automatic)")
+		pipelineDepth   = fs.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine (0 = paper-exact synchronous barrier; -exp scale always compares sync vs pipelined and sizes the pipelined arm with this, defaulting to 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,7 @@ func run(args []string) error {
 	params.TeachersPerIter = *teachersPerIter
 	params.TeacherSampling = *teacherSampling
 	params.CohortReplicas = *cohortReplicas
+	params.PipelineDepth = *pipelineDepth
 	if *devices != "" {
 		counts, err := parseDevices(*devices)
 		if err != nil {

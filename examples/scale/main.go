@@ -8,9 +8,14 @@
 // subset per distillation iteration (-teachers-per-iter 0 restores the
 // paper-exact full ensemble).
 //
+// With -pipeline-depth ≥ 1 rounds run on the staged pipelined engine:
+// the server distills round r while round r+1 trains on-device, with
+// devices on bounded-stale parameters (see README "Pipelined rounds").
+//
 //	go run ./examples/scale
 //	go run ./examples/scale -devices 1000 -sample-k 32 -workers 8 -rounds 2
 //	go run ./examples/scale -devices 1000 -teachers-per-iter 16 -teacher-sampling weighted
+//	go run ./examples/scale -devices 1000 -sample-k 32 -pipeline-depth 2
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 		teachersPerIter = flag.Int("teachers-per-iter", 8, "replica teachers sampled per server distillation iteration (0 = paper-exact full ensemble)")
 		teacherSampling = flag.String("teacher-sampling", "uniform", "teacher-subset policy: uniform or weighted (by device data size)")
 		cohortReplicas  = flag.Int("cohort-replicas", 0, "live replica modules retained per architecture cohort (0 = automatic)")
+		pipelineDepth   = flag.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine: the server distills round r while round r+1 trains on-device (0 = synchronous barrier)")
 	)
 	flag.Parse()
 
@@ -64,8 +70,9 @@ func main() {
 		SampleK: *sampleK, SampleWeighted: *weighted,
 		Workers: *workers, RoundDeadline: *deadline, FailureRate: *failRate,
 		TeachersPerIter: *teachersPerIter, TeacherSampling: *teacherSampling,
-		CohortReplicas:  *cohortReplicas,
-		EvalEvery:       *rounds, // evaluating 1,000 device models is the slow part
+		CohortReplicas: *cohortReplicas,
+		PipelineDepth:  *pipelineDepth,
+		EvalEvery:      *rounds, // evaluating 1,000 device models is the slow part
 	}, ds, []string{"mlp", "lenet-s"}, shards)
 	if err != nil {
 		log.Fatal(err)
@@ -81,17 +88,24 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nround | sampled | completed | dropped | injected | server time | round time\n")
+	fmt.Printf("\nround | sampled | completed | dropped | injected | local time | server time | round time\n")
 	for _, m := range hist {
-		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %11s | %s\n",
+		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %10s | %11s | %s\n",
 			m.Round, len(m.Active),
 			len(m.Active)-len(m.Dropped)-len(m.Injected),
 			len(m.Dropped), len(m.Injected),
+			m.LocalElapsed.Round(time.Millisecond),
 			m.ServerElapsed.Round(time.Millisecond), m.Elapsed.Round(time.Millisecond))
 	}
 	stats := co.Pool().Stats()
 	fmt.Printf("\npolicy=%s  totals: completed=%d dropped=%d injected=%d\n",
 		co.Sampler().Name(), stats.Completed.Load(), stats.Dropped.Load(), stats.Injected.Load())
+	if *pipelineDepth > 0 {
+		down, up := hist.TotalStalls()
+		fmt.Printf("pipeline: depth=%d, local stage stalled on downloads %s, server stage stalled on uploads %s, pool busy %s of %s wall\n",
+			*pipelineDepth, down.Round(time.Millisecond), up.Round(time.Millisecond),
+			stats.BusyTime().Round(time.Millisecond), elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("server: teachers/iter=%d (0 = full ensemble), live replica modules retained=%d of %d devices\n",
 		*teachersPerIter, srv.LiveReplicas(), *devices)
 	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f\n",

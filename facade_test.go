@@ -108,3 +108,42 @@ func TestFacadeDeviceScaleScheduler(t *testing.T) {
 		t.Fatal("empty history fingerprint")
 	}
 }
+
+// TestFacadePipelinedEngine drives PipelineDepth through the public
+// Config: a depth-2 run must finalise every round in order and keep the
+// stall accounting visible on the facade's History alias.
+func TestFacadePipelinedEngine(t *testing.T) {
+	ds := data.MustMake(fedzkt.DataConfig{
+		Name: "facade-pipe", Family: data.FamilyDigits, Classes: 3,
+		C: 1, H: 8, W: 8, TrainPerClass: 30, TestPerClass: 6, Seed: 23,
+	})
+	const devices = 20
+	shards := fedzkt.PartitionIID(ds.NumTrain(), devices, 24)
+	co, err := fedzkt.New(fedzkt.Config{
+		Rounds: 3, LocalEpochs: 1, DistillIters: 3, StudentSteps: 1,
+		DistillBatch: 8, BatchSize: 8, ZDim: 8,
+		DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Seed: 23,
+		SampleK: 6, Workers: 4, PipelineDepth: 2, TeachersPerIter: 4,
+	}, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history len %d, want 3", len(hist))
+	}
+	for i, m := range hist {
+		if m.Round != i+1 {
+			t.Fatalf("round %d at position %d", m.Round, i)
+		}
+	}
+	if down, up := hist.TotalStalls(); down < 0 || up < 0 {
+		t.Fatalf("negative stall accounting: %v %v", down, up)
+	}
+	if _, err := fedzkt.New(fedzkt.Config{PipelineDepth: -1}, ds, []string{"mlp"}, shards); err == nil {
+		t.Fatal("want error for negative PipelineDepth")
+	}
+}

@@ -33,6 +33,17 @@
 //		Rounds: 2, SampleK: 32, TeachersPerIter: 8, TeacherSampling: "weighted",
 //	}, ds, archs, shards)
 //
+// PipelineDepth selects the round engine: 0 (the default) is the
+// paper-exact synchronous barrier; depth D ≥ 1 overlaps the server's
+// distillation of round r with round r+1's on-device training, devices
+// training on bounded-stale parameters (round r starts from the download
+// of round r−1−D). Metrics stay byte-identical across worker counts for
+// a fixed depth and seed:
+//
+//	co, err := fedzkt.New(fedzkt.Config{
+//		Rounds: 4, SampleK: 32, TeachersPerIter: 8, PipelineDepth: 2,
+//	}, ds, archs, shards)
+//
 // The full machinery lives in the internal packages (documented in
 // DESIGN.md): internal/fedzkt (Algorithms 1 & 3), internal/fed (device
 // runtime), internal/sched (the round scheduler and sampling policies),

@@ -111,7 +111,7 @@ func (f *FedAvg) Run(ctx context.Context) (fed.History, error) {
 			if err := f.devices[id].Download(globalState.Clone()); err != nil {
 				return hist, err
 			}
-			m.BytesDown += int64(8 * globalState.Numel())
+			m.BytesDown += fed.WireBytes(globalState.Numel())
 		}
 
 		// Local training.
@@ -126,7 +126,7 @@ func (f *FedAvg) Run(ctx context.Context) (fed.History, error) {
 			sd := f.devices[id].Upload()
 			uploads = append(uploads, sd)
 			weights = append(weights, float64(f.devices[id].Data.Len()))
-			m.BytesUp += int64(8 * sd.Numel())
+			m.BytesUp += fed.WireBytes(sd.Numel())
 		}
 
 		// Element-wise weighted average into the global model.

@@ -93,6 +93,11 @@ type Params struct {
 	// CohortReplicas bounds the live replica modules retained per
 	// architecture cohort; set by the -cohort-replicas flag.
 	CohortReplicas int
+	// PipelineDepth selects the pipelined round engine (0 = synchronous
+	// barrier); set by the -pipeline-depth flag. The scale experiment
+	// always compares synchronous against pipelined and sizes the
+	// pipelined arm with this, defaulting to 1.
+	PipelineDepth int
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -222,6 +227,7 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		TeachersPerIter: p.TeachersPerIter,
 		TeacherSampling: p.TeacherSampling,
 		CohortReplicas:  p.CohortReplicas,
+		PipelineDepth:   p.PipelineDepth,
 	}
 }
 

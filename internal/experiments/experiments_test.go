@@ -196,13 +196,17 @@ func TestSmokeScale(t *testing.T) {
 		if rows[i][1] != "uniform-4" {
 			t.Fatalf("row %d policy = %s, want uniform-4", i, rows[i][1])
 		}
-		if !strings.HasSuffix(rows[i][10], "%") || !strings.HasSuffix(rows[i][11], "%") {
+		if !strings.HasSuffix(rows[i][13], "%") || !strings.HasSuffix(rows[i][14], "%") {
 			t.Fatalf("row %d accuracy cells not rendered: %v", i, rows[i])
 		}
-		// The full-vs-sampled server-phase comparison must render real
-		// durations and a speedup ratio.
+		// The full-vs-sampled server-phase comparison and the
+		// sync-vs-pipelined wall-time comparison must render real
+		// durations and speedup ratios.
 		if !strings.HasSuffix(rows[i][9], "×") {
 			t.Fatalf("row %d server speedup cell not rendered: %v", i, rows[i])
+		}
+		if !strings.HasSuffix(rows[i][12], "×") {
+			t.Fatalf("row %d pipeline speedup cell not rendered: %v", i, rows[i])
 		}
 	}
 	if _, err := ScaleSweep(Params{Scale: ScaleSmoke, ScaleDevices: []int{0}}); err == nil {

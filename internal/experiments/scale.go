@@ -41,20 +41,34 @@ func scaleTeachersPerIter(p Params) int {
 	return 8
 }
 
+// scalePipelineDepth is the staleness the sweep's pipelined arm uses. As
+// with the teacher budget, the sweep always compares synchronous against
+// pipelined, so PipelineDepth = 0 here means "default depth (1)".
+func scalePipelineDepth(p Params) int {
+	if p.PipelineDepth > 0 {
+		return p.PipelineDepth
+	}
+	return 1
+}
+
 // ScaleSweep is the device-count scaling scenario (beyond the paper):
-// for each federation size it runs two short FedZKT federations on the
+// for each federation size it runs three short FedZKT federations on the
 // sharded scheduler with uniform-K partial participation and mild failure
-// injection — one with the paper-exact full teacher ensemble, one with
-// the cohort server sampling TeachersPerIter teachers per distillation
-// iteration — and reports participation accounting, the server-phase
-// wall time of both regimes, and the sampled run's accuracy. It is the
-// regression harness for every future scaling change.
+// injection — the paper-exact full teacher ensemble, the cohort server
+// sampling TeachersPerIter teachers per distillation iteration, and the
+// sampled server again on the pipelined round engine — and reports
+// participation accounting, the server-phase wall time of the first two
+// regimes, the synchronous-vs-pipelined end-to-end wall time, and the
+// sampled run's accuracy. It is the regression harness for every future
+// scaling change.
 func ScaleSweep(p Params) (*Result, error) {
+	depth := scalePipelineDepth(p)
 	t := &Table{
 		ID:    "scale",
 		Title: "Device-count scaling on the sharded scheduler (SynthMNIST, IID)",
 		Header: []string{"Devices", "Policy", "K/round", "Completed", "Dropped", "Injected",
 			"Mean round time", "Server full", "Server sampled", "Server speedup",
+			"Wall sync", fmt.Sprintf("Wall depth=%d", depth), "Pipeline speedup",
 			"Global acc", "Mean device acc"},
 	}
 	teachers := scaleTeachersPerIter(p)
@@ -100,12 +114,30 @@ func ScaleSweep(p Params) (*Result, error) {
 			return nil, fmt.Errorf("scale %d devices (full ensemble): %w", k, err)
 		}
 
-		// Sampled cohort server: T teachers per iteration.
+		// Sampled cohort server: T teachers per iteration, synchronous
+		// barrier. This arm is both the server-sampling comparison point
+		// and the pipelined arm's wall-time baseline.
 		sampled := cfg
 		sampled.TeachersPerIter = teachers
+		syncStart := time.Now()
 		hist, co, err := runScaleCell(sampled, ds, archs, shards)
 		if err != nil {
 			return nil, fmt.Errorf("scale %d devices (teachers=%d): %w", k, teachers, err)
+		}
+		wallSync := time.Since(syncStart)
+
+		// Pipelined round engine over the same sampled configuration:
+		// round r+1's local phase overlaps round r's server distillation.
+		piped := sampled
+		piped.PipelineDepth = depth
+		pipedStart := time.Now()
+		if _, _, err := runScaleCell(piped, ds, archs, shards); err != nil {
+			return nil, fmt.Errorf("scale %d devices (pipeline depth=%d): %w", k, depth, err)
+		}
+		wallPiped := time.Since(pipedStart)
+		pipeSpeedup := "n/a"
+		if wallPiped > 0 {
+			pipeSpeedup = fmt.Sprintf("%.2f×", float64(wallSync)/float64(wallPiped))
 		}
 
 		var roundTime time.Duration
@@ -131,6 +163,9 @@ func ScaleSweep(p Params) (*Result, error) {
 			serverFull.Round(time.Millisecond).String(),
 			serverSampled.Round(time.Millisecond).String(),
 			speedup,
+			wallSync.Round(time.Millisecond).String(),
+			wallPiped.Round(time.Millisecond).String(),
+			pipeSpeedup,
 			pct(hist.FinalGlobalAcc()),
 			pct(hist.FinalMeanDeviceAcc()),
 		)

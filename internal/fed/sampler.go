@@ -50,12 +50,29 @@ type RoundMetrics struct {
 	// InputGradNorm is the mean ‖∇ₓL‖ observed during server distillation
 	// this round (Figure 2 instrumentation; 0 when not probed).
 	InputGradNorm float64
-	// Elapsed is the wall-clock duration of the round.
+	// Elapsed is the wall-clock duration of the round: from the start of
+	// its local phase to its metrics being finalised. Under the pipelined
+	// engine consecutive rounds overlap, so per-round Elapsed values sum
+	// to more than the run's wall time by design.
 	Elapsed time.Duration
 	// ServerElapsed is the wall-clock duration of the round's server
 	// phase (Algorithm 3: adversarial distillation plus transfer-back) —
 	// the component the cohort/teacher-sampling machinery targets.
 	ServerElapsed time.Duration
+	// LocalElapsed is the wall-clock duration of the round's on-device
+	// local phase (Algorithm 2 across the sampled devices).
+	LocalElapsed time.Duration
+	// DownloadStall is how long this round's local phase sat idle waiting
+	// for the download it is allowed to train on — the pipeline's
+	// bounded-staleness barrier. 0 when the server kept ahead of the
+	// devices and in the synchronous (PipelineDepth = 0) engine, where
+	// the wait is part of the barrier itself.
+	DownloadStall time.Duration
+	// UploadStall is how long the server stage sat idle waiting for this
+	// round's uploads to be handed over — the mirror-image idle measure.
+	// 0 when the devices kept ahead of the server and in the synchronous
+	// engine.
+	UploadStall time.Duration
 }
 
 // History is the per-round metrics trace of a full run.
@@ -134,6 +151,17 @@ func (h History) MeanServerElapsed() time.Duration {
 		total += m.ServerElapsed
 	}
 	return total / time.Duration(len(h))
+}
+
+// TotalStalls sums the pipeline idle time over the run: how long local
+// phases waited on downloads and how long the server stage waited on
+// uploads. Both are 0 for a synchronous run.
+func (h History) TotalStalls() (download, upload time.Duration) {
+	for _, m := range h {
+		download += m.DownloadStall
+		upload += m.UploadStall
+	}
+	return download, upload
 }
 
 // TotalBytes sums upload and download traffic over the run.

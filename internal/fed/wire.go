@@ -1,0 +1,14 @@
+package fed
+
+// WireBytes returns the on-the-wire payload size, in bytes, of a state
+// dict carrying numel float64 elements. Every byte-accounting site
+// (coordinator uploads/downloads, baseline traffic columns) must go
+// through this helper so a future quantised or compressed wire format
+// changes the accounting in exactly one place.
+func WireBytes(numel int) int64 {
+	return int64(numel) * wireBytesPerElement
+}
+
+// wireBytesPerElement is the wire width of one tensor element: the dense
+// float64 encoding used by nn.EncodeState today.
+const wireBytesPerElement = 8

@@ -1,0 +1,20 @@
+package fed
+
+import "testing"
+
+func TestWireBytes(t *testing.T) {
+	cases := []struct {
+		numel int
+		want  int64
+	}{
+		{0, 0},
+		{1, 8},
+		{57564, 460512},    // the golden run's round-1 payload total
+		{1 << 30, 8 << 30}, // must not overflow 32-bit arithmetic
+	}
+	for _, c := range cases {
+		if got := WireBytes(c.numel); got != c.want {
+			t.Errorf("WireBytes(%d) = %d, want %d", c.numel, got, c.want)
+		}
+	}
+}

@@ -130,3 +130,72 @@ func (s *Server) CheckpointBytes() ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// coordinatorCheckpoint is the gob wire form of a whole-federation
+// checkpoint: the server snapshot plus the round cursor the pipelined
+// engine needs to resume. Device-local state is deliberately not
+// serialised — on load every device is reconciled to its server replica,
+// the same state-dict slots the stale-download path reuses.
+type coordinatorCheckpoint struct {
+	Version   int
+	NextRound int
+	Server    []byte
+}
+
+// coordinatorCheckpointVersion guards against incompatible snapshots.
+const coordinatorCheckpointVersion = 1
+
+// SaveCheckpoint serialises the coordinator's resumable state: the server
+// checkpoint (global model, generator, every replica) and the first
+// unfinalised round. After a clean stop the snapshot is an exact round
+// boundary. After a cancellation it is consistent but approximate: work
+// the in-flight round already did is retained in the snapshot — uploads
+// absorbed into replicas, and any partial distillation progress in the
+// global model, generator and their optimisers — and the resumed Run
+// re-runs that round on top of it, so a resumed trajectory is not a
+// bit-exact replay of an uninterrupted one. Rolling the server back to
+// the boundary would require a full per-round state copy, which this
+// deliberately does not pay for.
+func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := c.server.SaveCheckpoint(&buf); err != nil {
+		return err
+	}
+	cp := coordinatorCheckpoint{
+		Version:   coordinatorCheckpointVersion,
+		NextRound: c.nextRound,
+		Server:    buf.Bytes(),
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("fedzkt: writing coordinator checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a snapshot written by SaveCheckpoint into a
+// coordinator built with the same configuration, dataset and shards. The
+// server state is restored bit-exactly; each device then downloads its
+// replica state — the server's latest knowledge of it — so a device that
+// had local progress in an unfinalised (in-flight) round resumes from the
+// last state the server saw instead. A subsequent Run continues from the
+// first unfinalised round, replaying the client-sampling stream up to it.
+func (c *Coordinator) LoadCheckpoint(r io.Reader) error {
+	var cp coordinatorCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("fedzkt: reading coordinator checkpoint: %w", err)
+	}
+	if cp.Version != coordinatorCheckpointVersion {
+		return fmt.Errorf("fedzkt: coordinator checkpoint version %d, want %d", cp.Version, coordinatorCheckpointVersion)
+	}
+	if cp.NextRound < 1 {
+		return fmt.Errorf("fedzkt: corrupt coordinator checkpoint: next round %d", cp.NextRound)
+	}
+	if err := c.server.LoadCheckpoint(bytes.NewReader(cp.Server)); err != nil {
+		return err
+	}
+	if err := c.reconcileDevices(); err != nil {
+		return err
+	}
+	c.nextRound = cp.NextRound
+	return nil
+}

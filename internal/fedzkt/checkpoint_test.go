@@ -2,6 +2,7 @@ package fedzkt
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/nn"
@@ -22,7 +23,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	// Move the server away from its initialisation so the checkpoint is
 	// nontrivial.
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := srv.CheckpointBytes()
@@ -112,7 +113,7 @@ func TestCheckpointResumeContinuesTraining(t *testing.T) {
 	if _, err := srv.Register("mlp", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := srv.CheckpointBytes()
@@ -126,7 +127,7 @@ func TestCheckpointResumeContinuesTraining(t *testing.T) {
 	if err := restored.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := restored.Distill(2); err != nil {
+	if _, err := restored.Distill(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range restored.Global().Params() {

@@ -2,6 +2,7 @@ package fedzkt
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -59,7 +60,7 @@ func TestCohortPoolBoundedInSampledMode(t *testing.T) {
 	if got := srv.LiveReplicas(); got != 0 {
 		t.Fatalf("registration retained %d live modules, want 0", got)
 	}
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.LiveReplicas(); got > cfg.TeachersPerIter {
@@ -74,7 +75,7 @@ func TestCohortPoolRetention(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.DistillIters = 2
 	srv := registerN(t, cfg, 4, "mlp")
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := srv.LiveReplicas(); got != 4 {
@@ -84,7 +85,7 @@ func TestCohortPoolRetention(t *testing.T) {
 	bounded := cfg
 	bounded.CohortReplicas = 1
 	srvB := registerN(t, bounded, 4, "mlp")
-	if _, err := srvB.Distill(1); err != nil {
+	if _, err := srvB.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := srvB.LiveReplicas(); got != 1 {
@@ -117,7 +118,7 @@ func TestCohortStateIsolation(t *testing.T) {
 		}
 		before[id] = sd
 	}
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	after := make([]nn.StateDict, 3)
@@ -169,7 +170,7 @@ func TestSampledDistillMovesAllReplicas(t *testing.T) {
 	for id := range before {
 		before[id], _ = srv.ReplicaState(id)
 	}
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	for id := range before {
@@ -222,7 +223,7 @@ func TestTransferBackRotationAdvancesAcrossRounds(t *testing.T) {
 	}
 
 	before := snapshot()
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	round1 := movedSince(before)
@@ -231,7 +232,7 @@ func TestTransferBackRotationAdvancesAcrossRounds(t *testing.T) {
 	}
 
 	before = snapshot()
-	if _, err := srv.Distill(2); err != nil {
+	if _, err := srv.Distill(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	round2 := movedSince(before)

@@ -3,6 +3,7 @@ package fedzkt
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -94,6 +95,20 @@ type Config struct {
 	// values cap server memory at the cost of rebuilding modules when an
 	// iteration needs more replicas resident than the bound.
 	CohortReplicas int
+	// PipelineDepth selects the round engine and its bounded staleness.
+	// 0 (the default) is the paper-exact synchronous barrier: each round
+	// runs localPhase → absorb → distill → download to completion before
+	// the next round starts, byte-identical to the pre-pipeline
+	// coordinator. Depth D ≥ 1 runs the staged pipelined engine: round
+	// r+1's local phase launches on the scheduler as soon as round r's
+	// uploads are staged, while the server distills round r concurrently,
+	// with up to D server rounds outstanding. Devices then train on
+	// bounded-stale parameters — round r's local phase starts from the
+	// download published after round r−1−D — which diverges from the
+	// paper's barrier semantics but hides the server phase behind device
+	// work. For a fixed depth and seed, metrics are byte-identical across
+	// worker counts.
+	PipelineDepth int
 	// GlobalArch names the server model architecture (default "global").
 	GlobalArch string
 	// Seed drives all randomness in the run.
@@ -203,6 +218,10 @@ type Coordinator struct {
 	server  *Server
 	pool    *sched.Pool
 	sampler sched.Sampler
+	// nextRound is the first round the next Run call executes: 1 for a
+	// fresh coordinator, advanced past every finalised round by Run, and
+	// restored by LoadCheckpoint, so a cancelled run can be resumed.
+	nextRound int
 }
 
 // New builds a coordinator over dataset ds with one device per shard,
@@ -220,6 +239,9 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	}
 	if cfg.SampleK < 0 {
 		return nil, fmt.Errorf("fedzkt: negative SampleK %d", cfg.SampleK)
+	}
+	if cfg.PipelineDepth < 0 {
+		return nil, fmt.Errorf("fedzkt: negative PipelineDepth %d", cfg.PipelineDepth)
 	}
 	// Validate the scheduler configuration before the expensive device
 	// build: at device scale, constructing a thousand models just to
@@ -243,7 +265,7 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler}
+	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler, nextRound: 1}
 	for i := range shards {
 		arch := archs[i%len(archs)]
 		devModel, err := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
@@ -320,13 +342,76 @@ func (c *Coordinator) Pool() *sched.Pool { return c.pool }
 // Sampler exposes the client-sampling policy in effect.
 func (c *Coordinator) Sampler() sched.Sampler { return c.sampler }
 
-// Run executes cfg.Rounds communication rounds (Algorithm 1) and returns
-// the per-round metrics history. ctx cancellation stops between rounds.
+// Run executes the remaining communication rounds (Algorithm 1) and
+// returns their per-round metrics history. A fresh coordinator starts at
+// round 1; after a cancelled run (or LoadCheckpoint) Run resumes from the
+// first unfinalised round, first reconciling every device to its server
+// replica so both resume paths restart from the same well-defined state.
+// A resume is consistent, not a bit-exact replay of an uninterrupted
+// run: work the cancelled round already did — absorbed uploads, partial
+// distillation progress, device epochs — is retained and the round is
+// re-run on top of it (see SaveCheckpoint).
+//
+// With PipelineDepth = 0 rounds execute the paper-exact synchronous
+// barrier; with depth ≥ 1 the staged pipelined engine (engine.go)
+// overlaps server distillation with the next round's local phase. ctx
+// cancellation stops at the next stage boundary — including between
+// distillation iterations — and returns the wrapped context error
+// alongside the history of fully finalised rounds.
 func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
+	if c.nextRound > 1 && c.nextRound <= c.cfg.Rounds {
+		// Resuming mid-federation: a cancelled run may have left devices
+		// ahead of the last finalised round (several rounds ahead under
+		// the pipelined engine, with no downloads applied). Restart them
+		// from the server's latest knowledge instead.
+		if err := c.reconcileDevices(); err != nil {
+			return nil, err
+		}
+	}
+	if c.cfg.PipelineDepth > 0 {
+		return c.runPipelined(ctx)
+	}
+	return c.runSync(ctx)
+}
+
+// reconcileDevices installs every device's server replica state into the
+// device model — the canonical post-round state a download would have
+// delivered — collapsing whatever in-flight local progress a cancelled
+// round left behind.
+func (c *Coordinator) reconcileDevices() error {
+	for _, d := range c.devices {
+		sd, err := c.server.ReplicaState(d.ID)
+		if err != nil {
+			return fmt.Errorf("fedzkt: reconciling device %d: %w", d.ID, err)
+		}
+		if err := d.Download(sd); err != nil {
+			return fmt.Errorf("fedzkt: reconciling device %d: %w", d.ID, err)
+		}
+	}
+	return nil
+}
+
+// roundSampler returns the client-sampling RNG positioned at c.nextRound:
+// the stream is sequential across rounds, so a resumed run replays the
+// draws of the already-finalised rounds to stay on the same sequence an
+// uninterrupted run would see.
+func (c *Coordinator) roundSampler() *rand.Rand {
+	roundRNG := tensor.NewRand(c.cfg.Seed + 99)
+	for r := 1; r < c.nextRound; r++ {
+		c.sampler.Sample(len(c.devices), roundRNG)
+	}
+	return roundRNG
+}
+
+// runSync is the synchronous round engine (PipelineDepth = 0): the four
+// stages of a round — localPhase, absorb, distill, download — run to
+// completion before the next round starts, exactly the paper's barrier.
+// Its arithmetic is pinned byte-for-byte by the determinism goldens.
+func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 	cfg := c.cfg
 	hist := make(fed.History, 0, cfg.Rounds)
-	roundRNG := tensor.NewRand(cfg.Seed + 99)
-	for round := 1; round <= cfg.Rounds; round++ {
+	roundRNG := c.roundSampler()
+	for round := c.nextRound; round <= cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
 		}
@@ -340,19 +425,24 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		// 2. On-device updates on the scheduler (Algorithm 2), then
 		// upload. Devices that miss the deadline or are failure-injected
 		// drop out of this round's aggregation.
-		completed, err := c.localPhase(ctx, round, active, &m)
+		localStart := time.Now()
+		completed, uploads, err := c.localPhase(ctx, round, active, &m)
 		if err != nil {
 			return hist, err
 		}
+		m.LocalElapsed = time.Since(localStart)
 		if err := ctx.Err(); err != nil {
 			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
+		}
+		if err := c.absorbUploads(completed, uploads); err != nil {
+			return hist, err
 		}
 
 		// 3. Server update (Algorithm 3).
 		serverStart := time.Now()
-		gn, err := c.server.Distill(round)
+		gn, err := c.server.Distill(ctx, round)
 		if err != nil {
-			return hist, err
+			return hist, fmt.Errorf("fedzkt: round %d: %w", round, err)
 		}
 		m.ServerElapsed = time.Since(serverStart)
 		m.InputGradNorm = gn
@@ -367,7 +457,7 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 			if err := c.devices[id].Download(sd); err != nil {
 				return hist, err
 			}
-			m.BytesDown += int64(8 * sd.Numel())
+			m.BytesDown += fed.WireBytes(sd.Numel())
 		}
 
 		// 5. Evaluate.
@@ -378,16 +468,20 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 		}
 		m.Elapsed = time.Since(start)
 		hist = append(hist, m)
+		c.nextRound = round + 1
 	}
 	return hist, nil
 }
 
 // localPhase runs Algorithm 2 on every sampled device via the sharded
-// scheduler, uploads the survivors into the server replicas, and returns
-// the device ids that completed within the round. Each task touches only
-// its own device, so the round's outcome is identical for any worker
-// count.
-func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m *fed.RoundMetrics) ([]int, error) {
+// scheduler and returns the device ids that completed within the round
+// together with their uploaded states, in ascending-id order. The uploads
+// are deep copies staged for the server but not yet absorbed — the
+// synchronous engine absorbs them immediately, the pipelined engine hands
+// them to the server stage so they cannot race an in-flight distillation.
+// Each task touches only its own device, so the round's outcome is
+// identical for any worker count.
+func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m *fed.RoundMetrics) ([]int, []nn.StateDict, error) {
 	cfg := c.cfg
 	local := fed.LocalConfig{
 		Epochs:      cfg.LocalEpochs,
@@ -416,15 +510,35 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 		case sched.StatusInjected:
 			m.Injected = append(m.Injected, r.Device)
 		case sched.StatusFailed:
-			return nil, fmt.Errorf("fedzkt: local phase device %d: %w", r.Device, r.Err)
+			return nil, nil, fmt.Errorf("fedzkt: local phase device %d: %w", r.Device, r.Err)
 		}
 	}
-	for _, id := range completed {
-		sd := c.devices[id].Upload()
-		if err := c.server.Absorb(id, sd); err != nil {
-			return nil, fmt.Errorf("fedzkt: upload device %d: %w", id, err)
-		}
-		m.BytesUp += int64(8 * sd.Numel())
+	uploads := make([]nn.StateDict, len(completed))
+	for i, id := range completed {
+		uploads[i] = c.devices[id].Upload()
+		m.BytesUp += fed.WireBytes(uploads[i].Numel())
 	}
-	return completed, nil
+	return completed, uploads, nil
+}
+
+// absorbUploads installs a round's staged uploads into the server
+// replicas, in the staged (ascending-id) order.
+func (c *Coordinator) absorbUploads(completed []int, uploads []nn.StateDict) error {
+	for i, id := range completed {
+		if err := c.server.Absorb(id, uploads[i]); err != nil {
+			return fmt.Errorf("fedzkt: upload device %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// applyDownloads installs server-published parameters into their devices
+// (ids[i] receives states[i]).
+func (c *Coordinator) applyDownloads(ids []int, states []nn.StateDict) error {
+	for i, id := range ids {
+		if err := c.devices[id].Download(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

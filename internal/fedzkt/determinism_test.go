@@ -2,10 +2,12 @@ package fedzkt
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/partition"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
@@ -155,6 +157,79 @@ func TestSchedulerDeterminismGoldenSampledTeachers(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestPipelinedDeterminismGolden extends the golden scheme to the staged
+// pipelined engine: for a fixed PipelineDepth the fingerprint must be
+// byte-identical between the sequential reference scheduler and the
+// parallel pool at every worker count — download application points,
+// absorb order and evaluation are required to be pure functions of
+// (depth, round), never of stage timing. The pipelined fingerprint must
+// also differ from the synchronous barrier's: depth ≥ 1 trains on
+// bounded-stale parameters by design.
+func TestPipelinedDeterminismGolden(t *testing.T) {
+	syncRef := goldenRun(t, func(c *Config) { c.Sequential = true })
+	for _, depth := range []int{1, 2} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			mutate := func(c *Config) { c.PipelineDepth = depth }
+			ref := goldenRun(t, func(c *Config) { mutate(c); c.Sequential = true })
+			if ref == "" {
+				t.Fatal("empty reference fingerprint")
+			}
+			if ref == syncRef {
+				t.Fatal("pipelined run unexpectedly identical to the synchronous barrier")
+			}
+			workerCounts := []int{1, 2, 3, 4, 5, 6, 7, 8}
+			if testing.Short() {
+				workerCounts = []int{1, 4, 8}
+			}
+			for _, w := range workerCounts {
+				got := goldenRun(t, func(c *Config) { mutate(c); c.Workers = w })
+				if got != ref {
+					t.Fatalf("depth=%d workers=%d fingerprint diverges from sequential reference:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+						depth, w, ref, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedDepthsDiverge pins that different pipeline depths are
+// different algorithms: each depth trains on a different staleness, so
+// the learned global models must not coincide bit for bit (a collision
+// would mean the staleness barrier is not wired to the configured
+// depth). The run needs at least three rounds — round r first consumes a
+// download at r = 2+depth, so a two-round run never tells 1 from 2. The
+// golden fingerprint is too coarse here: on the tiny golden test set,
+// accuracies quantise away small weight divergences.
+func TestPipelinedDepthsDiverge(t *testing.T) {
+	globalAfter := func(depth int) nn.StateDict {
+		ds := data.MustMake(data.Config{
+			Name: "golden", Family: data.FamilyDigits, Classes: 3,
+			C: 1, H: 8, W: 8, TrainPerClass: 12, TestPerClass: 6, Seed: 55,
+		})
+		shards := partition.IID(ds.NumTrain(), 6, tensor.NewRand(56))
+		cfg := goldenConfig()
+		cfg.Rounds = 3
+		cfg.Sequential = true
+		cfg.PipelineDepth = depth
+		co, err := New(cfg, ds, []string{"mlp", "lenet-s"}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := co.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return nn.CaptureState(co.Global())
+	}
+	a, b := globalAfter(1), globalAfter(2)
+	for name, w := range a {
+		if tensor.MaxAbsDiff(b[name], w) != 0 {
+			return // diverged, as required
+		}
+	}
+	t.Fatal("depth 1 and depth 2 learned bit-identical global models")
 }
 
 // TestFailureInjectionSurfacesInMetrics checks that the injected-failure

@@ -1,0 +1,234 @@
+package fedzkt
+
+// This file is the staged pipelined round engine (Config.PipelineDepth ≥ 1).
+//
+// The synchronous coordinator is a strict barrier: localPhase → absorb →
+// distill → download, one round at a time, so the scheduler's worker pool
+// sits idle for the whole server phase. The pipelined engine splits the
+// round into two stages running on separate goroutines, connected by
+// bounded channels:
+//
+//	local stage   (caller goroutine): sample → localPhase → stage uploads
+//	server stage  (one goroutine):    absorb → distill → publish downloads
+//	                                  → evaluate → finalise metrics
+//
+// The uploads channel IS the absorb staging buffer: uploads for round r+1
+// sit in it until the server stage has finished distilling round r, so
+// they can never race the round-r teacher ensemble. Snapshot isolation
+// between the stages follows from the existing data flow — devices train
+// on their own modules, the server mutates cohort state-dict slots, and
+// both uploads and downloads are deep copies handed across a channel.
+//
+// Bounded staleness: round r's local phase trains on the parameters
+// published after round r−1−depth, enforced by waiting for exactly that
+// download before launching the round — never more, even when the server
+// runs ahead. Download application points are therefore a pure function
+// of (depth, round), which is what makes the engine's metrics
+// byte-identical across worker counts for a fixed depth and seed.
+//
+// Evaluation runs in the server stage against the cohort replica states
+// (Server.EvaluateReplicas): when round r's metrics are finalised the
+// device models may already be training round r+1, but the replica after
+// round r's transfer-back is exactly the state round r's download
+// publishes.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/nn"
+)
+
+// uploadBatch is one round's staged hand-off from the local stage to the
+// server stage: the partially filled round metrics plus the completed
+// devices' uploaded states (deep copies, ascending id).
+type uploadBatch struct {
+	round     int
+	start     time.Time // when the round's local phase began
+	m         fed.RoundMetrics
+	completed []int
+	uploads   []nn.StateDict
+}
+
+// downloadBatch is one round's published downloads: a deep copy of each
+// completing device's replica state after the round's transfer-back.
+type downloadBatch struct {
+	round  int
+	ids    []int
+	states []nn.StateDict
+}
+
+// runPipelined executes the staged round engine with cfg.PipelineDepth
+// rounds of bounded staleness. The returned history contains every
+// finalised round in order; on cancellation or stage failure the wrapped
+// first error is returned alongside that consistent prefix.
+func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
+	cfg := c.cfg
+	depth := cfg.PipelineDepth
+	startRound := c.nextRound
+	if startRound > cfg.Rounds {
+		return fed.History{}, nil
+	}
+
+	// runCtx lets either stage abort the other: the server stage cancels
+	// it on error, and a user cancellation of ctx propagates through it
+	// into mid-phase distillation and queued device tasks.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Capacity depth+1 covers the maximum number of rounds the staleness
+	// rule allows in flight, so neither stage blocks on a healthy peer.
+	uploads := make(chan uploadBatch, depth+1)
+	downloads := make(chan downloadBatch, depth+1)
+
+	var (
+		hist      fed.History
+		serverErr error
+		done      = make(chan struct{})
+	)
+
+	// Server stage: absorb → distill → publish downloads → evaluate →
+	// finalise metrics, strictly in round order. It is the only goroutine
+	// touching the server (and appending to hist) while running; the done
+	// channel publishes both to the caller.
+	go func() {
+		defer close(done)
+		defer close(downloads)
+		for {
+			waitStart := time.Now()
+			ub, ok := <-uploads
+			if !ok {
+				return
+			}
+			m := ub.m
+			m.UploadStall = time.Since(waitStart)
+			if err := c.absorbUploads(ub.completed, ub.uploads); err != nil {
+				serverErr = err
+				cancel()
+				return
+			}
+			serverStart := time.Now()
+			gn, err := c.server.Distill(runCtx, ub.round)
+			if err != nil {
+				serverErr = fmt.Errorf("fedzkt: round %d: %w", ub.round, err)
+				cancel()
+				return
+			}
+			m.ServerElapsed = time.Since(serverStart)
+			m.InputGradNorm = gn
+
+			db := downloadBatch{round: ub.round, ids: ub.completed}
+			for _, id := range ub.completed {
+				sd, err := c.server.ReplicaState(id)
+				if err != nil {
+					serverErr = err
+					cancel()
+					return
+				}
+				db.states = append(db.states, sd)
+				m.BytesDown += fed.WireBytes(sd.Numel())
+			}
+			if ub.round%cfg.EvalEvery == 0 || ub.round == cfg.Rounds {
+				m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
+				m.DeviceAcc = c.server.EvaluateReplicas(c.ds, 64, cfg.poolWorkers())
+				m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
+			}
+			m.Elapsed = time.Since(ub.start)
+			hist = append(hist, m)
+			// The local stage drains this channel until it is closed, so
+			// the send cannot block indefinitely.
+			downloads <- db
+		}
+	}()
+
+	// Local stage (caller goroutine): wait for the staleness barrier,
+	// sample, run the local phase, stage the uploads.
+	roundRNG := c.roundSampler()
+	lastApplied := startRound - 1
+	var (
+		localErr   error
+		pipeBroken bool
+	)
+	for round := startRound; round <= cfg.Rounds; round++ {
+		m := fed.RoundMetrics{Round: round}
+
+		// Bounded-staleness barrier: this round may only train on the
+		// parameters published after round−1−depth, so wait for exactly
+		// that download (applying every earlier one on the way, in round
+		// order — the application points depend only on depth and round,
+		// never on timing).
+		need := round - 1 - depth
+		waitStart := time.Now()
+		for lastApplied < need {
+			db, ok := <-downloads
+			if !ok {
+				pipeBroken = true
+				break
+			}
+			if err := c.applyDownloads(db.ids, db.states); err != nil {
+				localErr = err
+				pipeBroken = true
+				break
+			}
+			lastApplied = db.round
+		}
+		if pipeBroken {
+			break
+		}
+		m.DownloadStall = time.Since(waitStart)
+
+		if err := ctx.Err(); err != nil {
+			localErr = fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
+			break
+		}
+		active := c.sampler.Sample(len(c.devices), roundRNG)
+		m.Active = active
+		start := time.Now()
+		completed, ups, err := c.localPhase(runCtx, round, active, &m)
+		if err != nil {
+			localErr = err
+			break
+		}
+		m.LocalElapsed = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			localErr = fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
+			break
+		}
+		select {
+		case uploads <- uploadBatch{round: round, start: start, m: m, completed: completed, uploads: ups}:
+		case <-runCtx.Done():
+			pipeBroken = true
+		}
+		if pipeBroken {
+			break
+		}
+	}
+	close(uploads)
+
+	// Drain: apply every download the server still publishes, so a clean
+	// run ends with all devices holding the freshest parameters and the
+	// server stage's sends never block against an exited peer.
+	for db := range downloads {
+		if localErr == nil {
+			if err := c.applyDownloads(db.ids, db.states); err != nil {
+				localErr = err
+			}
+		}
+		lastApplied = db.round
+	}
+	<-done
+
+	c.nextRound = startRound + len(hist)
+	if localErr != nil {
+		return hist, localErr
+	}
+	if serverErr != nil {
+		return hist, serverErr
+	}
+	if err := ctx.Err(); err != nil {
+		return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", c.nextRound, err)
+	}
+	return hist, nil
+}

@@ -1,8 +1,10 @@
 package fedzkt
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/data"
@@ -168,12 +170,21 @@ func (s *Server) DeviceArch(id int) (string, error) {
 // Distill runs both ServerUpdate phases of Algorithm 3 for one round:
 // adversarial zero-shot distillation into F, then transfer back into the
 // replicas. It returns the mean per-sample ‖∇ₓL‖ when probing is enabled.
-func (s *Server) Distill(round int) (float64, error) {
+// ctx is checked between distillation iterations, so cancelling it stops
+// a long phase mid-flight (returning the wrapped context error) instead
+// of only between rounds; the phase's optimiser state stays wherever the
+// last completed iteration left it.
+func (s *Server) Distill(ctx context.Context, round int) (float64, error) {
 	if s.cohorts.numDevices() == 0 {
 		return 0, fmt.Errorf("fedzkt: distill with no registered devices")
 	}
-	gn := s.adversarialPhase(round)
-	s.transferBackPhase(round)
+	gn, err := s.adversarialPhase(ctx, round)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.transferBackPhase(ctx, round); err != nil {
+		return 0, err
+	}
 	return gn, nil
 }
 
@@ -231,7 +242,7 @@ func (s *Server) teacherWeights(leases []*replicaLease) []float64 {
 // (max) and global model (min) steps on the disagreement loss over the
 // frozen teacher ensemble — the full ensemble in exact mode, a freshly
 // sampled T-subset per iteration in sampled mode.
-func (s *Server) adversarialPhase(round int) float64 {
+func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, error) {
 	cfg := s.cfg
 	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xADE))
 
@@ -258,6 +269,11 @@ func (s *Server) adversarialPhase(round int) float64 {
 	gradNormSum, gradNormCount := 0.0, 0
 
 	for it := 0; it < cfg.DistillIters; it++ {
+		// Between iterations every flag toggled below is back in its
+		// steady state, so this is the one safe bail-out point.
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("fedzkt: adversarial phase cancelled at iteration %d of round %d: %w", it, round, err)
+		}
 		teachers := phaseLeases
 		if t > 0 {
 			ids := sampler.Sample(s.cohorts.numDevices(), teacherRNG)
@@ -308,9 +324,9 @@ func (s *Server) adversarialPhase(round int) float64 {
 		s.genSched.Tick()
 	}
 	if gradNormCount == 0 {
-		return 0
+		return 0, nil
 	}
-	return gradNormSum / float64(gradNormCount)
+	return gradNormSum / float64(gradNormCount), nil
 }
 
 // disagreement evaluates L(F(x), f_ens(x)) over the resident teacher
@@ -349,7 +365,7 @@ func (s *Server) transferBackIDs(round, it, t int) []int {
 // transferBackPhase is the second half of Algorithm 3 (lines 15-21):
 // distil the updated global model back into the replicas using the
 // trained generator and the KL loss of Eq. 8.
-func (s *Server) transferBackPhase(round int) {
+func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 	cfg := s.cfg
 	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xBAC))
 
@@ -373,6 +389,9 @@ func (s *Server) transferBackPhase(round int) {
 	}
 
 	for it := 0; it < cfg.DistillIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("fedzkt: transfer-back phase cancelled at iteration %d of round %d: %w", it, round, err)
+		}
 		x := s.gen.Forward(ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))).Value()
 		// The generated batch and the teacher's distillation targets are
 		// shared read-only constants: wrap and precompute them once per
@@ -401,9 +420,43 @@ func (s *Server) transferBackPhase(round int) {
 			s.cohorts.release(batch)
 		}
 	}
+	return nil
 }
 
 // EvaluateGlobal reports F's test accuracy on ds.
 func (s *Server) EvaluateGlobal(ds *data.Dataset) float64 {
 	return fed.Evaluate(s.global, ds, 64)
+}
+
+// EvaluateReplicas reports the test accuracy of every registered device's
+// server-side replica state, in device-id order. The pipelined round
+// engine evaluates replicas instead of the live device models, which may
+// already be training a later round: the replica after round r's
+// transfer-back is exactly what round r's download delivers, so for every
+// device that completed the round this matches the synchronous engine's
+// post-download device accuracy (stragglers are evaluated at their
+// distilled replica rather than their stale local model).
+//
+// Replicas are swapped into pooled live modules in bounded chunks of
+// workers (0 = GOMAXPROCS) and evaluated concurrently within a chunk, so
+// the cohort pools never grow beyond the chunk size on account of
+// evaluation. Accuracy depends only on the stored states, so the result
+// is identical for any worker count.
+func (s *Server) EvaluateReplicas(ds *data.Dataset, batchSize, workers int) []float64 {
+	n := s.cohorts.numDevices()
+	accs := make([]float64, n)
+	chunk := workers
+	if chunk <= 0 {
+		chunk = runtime.GOMAXPROCS(0)
+	}
+	ids := s.cohorts.allIDs()
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		leases := s.cohorts.checkout(ids[lo:hi], false, false)
+		sched.ForEach(hi-lo, workers, func(i int) {
+			accs[lo+i] = fed.Evaluate(leases[i].slot.module, ds, batchSize)
+		})
+		s.cohorts.release(leases)
+	}
+	return accs
 }

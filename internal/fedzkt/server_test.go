@@ -1,6 +1,7 @@
 package fedzkt
 
 import (
+	"context"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -115,7 +116,7 @@ func TestServerSampledDistillKeepsEverythingFinite(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if _, err := srv.Distill(1); err != nil {
+		if _, err := srv.Distill(context.Background(), 1); err != nil {
 			t.Fatal(err)
 		}
 		for id := 0; id < srv.NumDevices(); id++ {
@@ -142,7 +143,7 @@ func TestServerDistillRequiresDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Distill(1); err == nil {
+	if _, err := srv.Distill(context.Background(), 1); err == nil {
 		t.Fatal("want error when no devices registered")
 	}
 }
@@ -160,7 +161,7 @@ func TestServerDistillMovesReplicasAndKeepsThemFinite(t *testing.T) {
 		}
 	}
 	before, _ := srv.ReplicaState(0)
-	if _, err := srv.Distill(1); err != nil {
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := srv.ReplicaState(0)

@@ -132,14 +132,30 @@ type Stats struct {
 	Failed    atomic.Int64
 	Dropped   atomic.Int64
 	Injected  atomic.Int64
+	// Busy accumulates the nanoseconds workers spent executing tasks —
+	// the pool's work integral. Over a wall-clock interval w with W
+	// workers, Busy/(W·w) is the pool's utilisation; a pipelined round
+	// engine uses it to show how much device-side idle time it recovered.
+	Busy atomic.Int64
 }
+
+// BusyTime returns Stats.Busy as a duration.
+func (s *Stats) BusyTime() time.Duration { return time.Duration(s.Busy.Load()) }
 
 // Pool is a bounded worker pool that executes one round of device tasks
 // at a time. It is stateless between rounds apart from its Stats, so a
 // single Pool serves a whole multi-round run.
+//
+// Rounds must form a single stream: RunRound may be called again as soon
+// as it returns — back-to-back rounds from a pipelined engine are the
+// intended workload — but never concurrently with itself. The per-device
+// queue affinity that makes results order- and worker-count-independent
+// is only meaningful within that stream, so a concurrent second round is
+// a programming error and panics.
 type Pool struct {
-	opts  Options
-	stats Stats
+	opts    Options
+	stats   Stats
+	running atomic.Bool
 }
 
 // NewPool validates opts and builds a pool.
@@ -163,6 +179,10 @@ func (p *Pool) Stats() *Stats { return &p.stats }
 // call blocks until every started task has returned — a straggler that
 // outlives the deadline is awaited but reported as dropped.
 func (p *Pool) RunRound(ctx context.Context, round int, tasks []Task) []Result {
+	if !p.running.CompareAndSwap(false, true) {
+		panic("sched: RunRound called concurrently on one Pool; rounds must form a single stream")
+	}
+	defer p.running.Store(false)
 	results := make([]Result, len(tasks))
 	pending := make([]int, 0, len(tasks))
 	for i, t := range tasks {
@@ -192,6 +212,7 @@ func (p *Pool) RunRound(ctx context.Context, round int, tasks []Task) []Result {
 
 	p.stats.Rounds.Add(1)
 	for _, r := range results {
+		p.stats.Busy.Add(int64(r.Elapsed))
 		switch r.Status {
 		case StatusCompleted:
 			p.stats.Completed.Add(1)

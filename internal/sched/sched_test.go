@@ -247,6 +247,63 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
+// TestBusyTimeAccumulates checks the work integral: tasks that sleep a
+// known duration must surface at least that much busy time, across
+// back-to-back rounds (the pipelined engine's stream shape).
+func TestBusyTimeAccumulates(t *testing.T) {
+	p, err := NewPool(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleepy := func(context.Context) error { time.Sleep(4 * time.Millisecond); return nil }
+	for round := 1; round <= 2; round++ {
+		p.RunRound(context.Background(), round, []Task{
+			{Device: 0, Run: sleepy}, {Device: 1, Run: sleepy},
+		})
+	}
+	if got := p.Stats().BusyTime(); got < 16*time.Millisecond {
+		t.Fatalf("busy time %v after 4 × 4ms tasks", got)
+	}
+}
+
+// TestConcurrentRunRoundPanics pins the pool's single-stream contract:
+// rounds may run back to back but never concurrently. The first round
+// parks on a channel inside a task; the overlapping call must panic on
+// the caller's goroutine.
+func TestConcurrentRunRoundPanics(t *testing.T) {
+	p, err := NewPool(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	started := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		p.RunRound(context.Background(), 1, []Task{{Device: 0, Run: func(context.Context) error {
+			close(started)
+			<-block
+			return nil
+		}}})
+	}()
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("concurrent RunRound did not panic")
+			}
+		}()
+		p.RunRound(context.Background(), 2, []Task{{Device: 1, Run: func(context.Context) error { return nil }}})
+	}()
+	close(block)
+	<-firstDone
+	// The stream is usable again once the in-flight round returns.
+	ran := make([]atomic.Int32, 1)
+	if res := p.RunRound(context.Background(), 3, countingTasks(1, ran)); res[0].Status != StatusCompleted {
+		t.Fatalf("post-recovery round status %v", res[0].Status)
+	}
+}
+
 func TestLateGenuineErrorIsFailedNotDropped(t *testing.T) {
 	// A task that both misses the deadline and returns a real error must
 	// surface as Failed: lateness must not swallow genuine faults.

@@ -160,7 +160,7 @@ func (s *Server) Run(ctx context.Context) (fed.History, error) {
 		}
 
 		// Server-side distillation.
-		gn, err := s.core.Distill(round)
+		gn, err := s.core.Distill(ctx, round)
 		if err != nil {
 			return hist, err
 		}
