@@ -17,9 +17,11 @@ import (
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
@@ -264,6 +266,69 @@ func BenchmarkPipelinedRoundDepth0(b *testing.B) { benchPipelinedRound(b, 0) }
 // BenchmarkPipelinedRoundDepth2 is the same federation with two rounds in
 // flight on the staged pipelined engine.
 func BenchmarkPipelinedRoundDepth2(b *testing.B) { benchPipelinedRound(b, 2) }
+
+// --- State-codec benchmarks ---
+
+// benchCohortMemory registers 100 heterogeneous devices under the given
+// state codec and reports the resident replica-slot bytes per device —
+// the server-memory quantity the quantised codecs shrink (the acceptance
+// bar for int8 is ≥4× below float64; in practice it lands near 8×).
+func benchCohortMemory(b *testing.B, codecName string) {
+	b.Helper()
+	b.ReportAllocs()
+	var perDevice float64
+	for i := 0; i < b.N; i++ {
+		srv, err := fedzkt.NewServer(fedzkt.Config{
+			TeachersPerIter: 8, StateCodec: codecName,
+		}, fedzkt.Shape{C: 1, H: 8, W: 8}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zoo := fedzkt.SmallZoo()
+		for d := 0; d < 100; d++ {
+			if _, err := srv.RegisterSized(zoo[d%len(zoo)], nil, 1+d%7); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perDevice = float64(srv.ResidentStateBytes()) / 100
+	}
+	b.ReportMetric(perDevice, "stateB/device")
+}
+
+func BenchmarkCohortMemoryFloat64(b *testing.B) { benchCohortMemory(b, "float64") }
+func BenchmarkCohortMemoryFloat16(b *testing.B) { benchCohortMemory(b, "float16") }
+func BenchmarkCohortMemoryInt8(b *testing.B)    { benchCohortMemory(b, "int8") }
+
+// BenchmarkCodecEncodeDecode measures one encode + decode round trip of a
+// real model state under each codec, reporting the encoded bytes per
+// element alongside the throughput.
+func BenchmarkCodecEncodeDecode(b *testing.B) {
+	m := model.MustBuild("cnn", model.Shape{C: 1, H: 8, W: 8}, 4, tensor.NewRand(17))
+	sd := nn.CaptureState(m)
+	numel := sd.Numel()
+	for _, name := range codec.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			c, err := codec.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(numel) * 8)
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf, err = c.Append(buf[:0], sd)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := codec.DecodeInto(buf, sd); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(buf))/float64(numel), "encB/elem")
+		})
+	}
+}
 
 // --- Substrate micro-benchmarks ---
 

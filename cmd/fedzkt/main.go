@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 )
 
@@ -45,6 +46,7 @@ func run(args []string) error {
 		teacherSampling = fs.String("teacher-sampling", "", "server: teacher-subset policy, uniform or weighted (by device data size)")
 		cohortReplicas  = fs.Int("cohort-replicas", 0, "server: live replica modules retained per architecture cohort (0 = automatic)")
 		pipelineDepth   = fs.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine (0 = paper-exact synchronous barrier; -exp scale always compares sync vs pipelined and sizes the pipelined arm with this, defaulting to 1)")
+		stateCodec      = fs.String("state-codec", "", "state codec for replica slots, wire payloads and checkpoints: float64 (dense, the default), float16, or int8 (per-tensor affine); -exp scale additionally sweeps all three in its codec table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +74,10 @@ func run(args []string) error {
 	params.TeacherSampling = *teacherSampling
 	params.CohortReplicas = *cohortReplicas
 	params.PipelineDepth = *pipelineDepth
+	if _, err := codec.Get(*stateCodec); err != nil {
+		return err
+	}
+	params.StateCodec = *stateCodec
 	if *devices != "" {
 		counts, err := parseDevices(*devices)
 		if err != nil {

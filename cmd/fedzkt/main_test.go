@@ -42,6 +42,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-exp", "scale", "-devices", "0"}); err == nil {
 		t.Fatal("zero device count accepted")
 	}
+	if err := run([]string{"-exp", "scale", "-state-codec", "float8"}); err == nil {
+		t.Fatal("unknown state codec accepted")
+	}
 	if err := run([]string{}); err == nil {
 		t.Fatal("missing -exp accepted")
 	}

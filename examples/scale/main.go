@@ -12,10 +12,17 @@
 // the server distills round r while round r+1 trains on-device, with
 // devices on bounded-stale parameters (see README "Pipelined rounds").
 //
+// With -state-codec float16 or int8 the server keeps every replica slot
+// as a quantised buffer (2 or 1 bytes per element instead of 8) and the
+// simulated wire carries the same compact payloads — the memory/traffic
+// lever for pushing device counts further (see README "Compressed
+// state").
+//
 //	go run ./examples/scale
 //	go run ./examples/scale -devices 1000 -sample-k 32 -workers 8 -rounds 2
 //	go run ./examples/scale -devices 1000 -teachers-per-iter 16 -teacher-sampling weighted
 //	go run ./examples/scale -devices 1000 -sample-k 32 -pipeline-depth 2
+//	go run ./examples/scale -devices 1000 -sample-k 32 -state-codec int8
 package main
 
 import (
@@ -45,6 +52,7 @@ func main() {
 		teacherSampling = flag.String("teacher-sampling", "uniform", "teacher-subset policy: uniform or weighted (by device data size)")
 		cohortReplicas  = flag.Int("cohort-replicas", 0, "live replica modules retained per architecture cohort (0 = automatic)")
 		pipelineDepth   = flag.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine: the server distills round r while round r+1 trains on-device (0 = synchronous barrier)")
+		stateCodec      = flag.String("state-codec", "", "state codec for replica slots and wire payloads: float64 (dense, default), float16 (2 B/elem), int8 (1 B/elem, per-tensor affine)")
 	)
 	flag.Parse()
 
@@ -72,6 +80,7 @@ func main() {
 		TeachersPerIter: *teachersPerIter, TeacherSampling: *teacherSampling,
 		CohortReplicas: *cohortReplicas,
 		PipelineDepth:  *pipelineDepth,
+		StateCodec:     *stateCodec,
 		EvalEvery:      *rounds, // evaluating 1,000 device models is the slow part
 	}, ds, []string{"mlp", "lenet-s"}, shards)
 	if err != nil {
@@ -108,6 +117,8 @@ func main() {
 	}
 	fmt.Printf("server: teachers/iter=%d (0 = full ensemble), live replica modules retained=%d of %d devices\n",
 		*teachersPerIter, srv.LiveReplicas(), *devices)
+	fmt.Printf("state: codec=%s, resident replica slots %d B total (%d B/device)\n",
+		srv.Codec().Name(), srv.ResidentStateBytes(), srv.ResidentStateBytes()/int64(*devices))
 	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f\n",
 		hist.FinalGlobalAcc(), hist.FinalMeanDeviceAcc())
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",

@@ -44,9 +44,22 @@
 //		Rounds: 4, SampleK: 32, TeachersPerIter: 8, PipelineDepth: 2,
 //	}, ds, archs, shards)
 //
+// StateCodec selects how model state is stored in the server's replica
+// slots, carried on the (simulated or real) wire, and persisted in
+// checkpoints: "float64" (dense identity, the default — byte-identical
+// to the pre-codec pipeline), "float16" (4× smaller), or "int8"
+// (per-tensor affine quantisation, 8× smaller). Quantised runs stay
+// deterministic across worker counts; the scale experiment's codec table
+// reports the accuracy trade-off:
+//
+//	co, err := fedzkt.New(fedzkt.Config{
+//		Rounds: 2, SampleK: 32, TeachersPerIter: 8, StateCodec: "int8",
+//	}, ds, archs, shards)
+//
 // The full machinery lives in the internal packages (documented in
 // DESIGN.md): internal/fedzkt (Algorithms 1 & 3), internal/fed (device
 // runtime), internal/sched (the round scheduler and sampling policies),
+// internal/codec (the state codecs and container format),
 // internal/model (the heterogeneous model zoo and generator),
 // internal/data (synthetic datasets), internal/partition (IID / label-skew
 // partitioners), internal/baseline (FedMD, FedAvg, standalone bounds),
@@ -56,6 +69,7 @@ package fedzkt
 
 import (
 	"github.com/fedzkt/fedzkt/internal/baseline"
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	ifedzkt "github.com/fedzkt/fedzkt/internal/fedzkt"
@@ -126,6 +140,10 @@ func NewServer(cfg Config, in Shape, classes int) (*Server, error) {
 
 // ParseLoss converts "sl", "kl" or "l1" to a LossKind.
 func ParseLoss(s string) (LossKind, error) { return ifedzkt.ParseLoss(s) }
+
+// StateCodecs lists the registered state-codec names accepted by
+// Config.StateCodec: "float64", "float16", "int8".
+func StateCodecs() []string { return codec.Names() }
 
 // SmallZoo returns the five heterogeneous architectures used for the
 // 1-channel datasets.

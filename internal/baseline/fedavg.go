@@ -111,7 +111,7 @@ func (f *FedAvg) Run(ctx context.Context) (fed.History, error) {
 			if err := f.devices[id].Download(globalState.Clone()); err != nil {
 				return hist, err
 			}
-			m.BytesDown += fed.WireBytes(globalState.Numel())
+			m.BytesDown += fed.WireBytes(globalState.Numel(), fed.WidthFloat64)
 		}
 
 		// Local training.
@@ -126,7 +126,7 @@ func (f *FedAvg) Run(ctx context.Context) (fed.History, error) {
 			sd := f.devices[id].Upload()
 			uploads = append(uploads, sd)
 			weights = append(weights, float64(f.devices[id].Data.Len()))
-			m.BytesUp += fed.WireBytes(sd.Numel())
+			m.BytesUp += fed.WireBytes(sd.Numel(), fed.WidthFloat64)
 		}
 
 		// Element-wise weighted average into the global model.

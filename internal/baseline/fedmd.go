@@ -158,7 +158,7 @@ func (f *FedMD) Run(ctx context.Context) (fed.History, error) {
 		}
 		tensor.ScaleInPlace(consensus, 1/float64(len(scores)))
 
-		logitBytes := fed.WireBytes(consensus.Len())
+		logitBytes := fed.WireBytes(consensus.Len(), fed.WidthFloat64)
 		m.BytesUp = logitBytes * int64(len(f.devices))
 		m.BytesDown = logitBytes * int64(len(f.devices))
 

@@ -1,0 +1,355 @@
+package codec
+
+// The container format. All multi-byte integers are little-endian; all
+// variable-length integers are unsigned varints (encoding/binary).
+//
+//	magic   "FZKS" (4 bytes)
+//	version 1 byte (currently 1)
+//	count   uvarint — number of tensors
+//	then per tensor, in sorted-name order:
+//	  nameLen uvarint, name bytes
+//	  dtype   1 byte
+//	  ndims   uvarint, then each dim as a uvarint
+//	  payload dtype-dependent:
+//	    float64: 8·n bytes — IEEE 754 binary64 bits per element
+//	    float16: 2·n bytes — IEEE 754 binary16 bits per element
+//	    int8:    16 + n bytes — offset float64, step float64, then one
+//	             quantised byte per element (value = offset + byte·step)
+//
+// The header is versioned and every tensor carries its own dtype tag, so
+// readers reject foreign or future formats with a clear error and mixed
+// containers decode without out-of-band configuration.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// containerVersion is the format version this build writes and reads.
+const containerVersion = 1
+
+var containerMagic = [4]byte{'F', 'Z', 'K', 'S'}
+
+// Per-tensor element encodings.
+const (
+	dtFloat64 byte = 1
+	dtFloat16 byte = 2
+	dtInt8    byte = 3
+)
+
+// maxDim bounds any single dimension and the element count of a decoded
+// tensor, so corrupt headers fail fast instead of attempting an absurd
+// allocation.
+const maxDim = 1 << 40
+
+// appendContainer writes sd as a container with the given dtype for every
+// tensor.
+func appendContainer(dst []byte, sd nn.StateDict, dtype byte) ([]byte, error) {
+	names := sd.Names()
+	dst = append(dst, containerMagic[:]...)
+	dst = append(dst, containerVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, n := range names {
+		t := sd[n]
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+		dst = append(dst, dtype)
+		shape := t.Shape()
+		dst = binary.AppendUvarint(dst, uint64(len(shape)))
+		for _, d := range shape {
+			// Mirror the reader's validation: emitting a shape the
+			// decoder rejects would turn an impossible tensor into an
+			// undecodable slot. (tensor constructors already forbid
+			// non-positive dims, so this is pure defence in depth.)
+			if d <= 0 {
+				return nil, fmt.Errorf("codec: tensor %q has non-positive dimension in shape %v", n, shape)
+			}
+			dst = binary.AppendUvarint(dst, uint64(d))
+		}
+		data := t.Data()
+		switch dtype {
+		case dtFloat64:
+			for _, v := range data {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		case dtFloat16:
+			for _, v := range data {
+				dst = binary.LittleEndian.AppendUint16(dst, halfFromFloat64(v))
+			}
+		case dtInt8:
+			dst = appendInt8Tensor(dst, data)
+		default:
+			return nil, fmt.Errorf("codec: unknown dtype %d", dtype)
+		}
+	}
+	return dst, nil
+}
+
+// appendInt8Tensor writes the per-tensor affine header (offset, step) and
+// one quantised byte per element. The grid spans [min, max] of the tensor
+// with 256 levels: step = (max−min)/255, quantised q = round((v−offset)/step),
+// decoded v′ = offset + q·step, so the worst-case error is step/2. Decoded
+// values never fall below the tensor's minimum (q·step is non-negative),
+// so a non-negative tensor can never decode to a negative value; the top
+// of the range may overshoot the maximum by one rounding ulp.
+func appendInt8Tensor(dst []byte, data []float64) []byte {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if len(data) == 0 {
+		lo, hi = 0, 0
+	}
+	// Saturate infinite bounds to the float64 range: an infinite offset
+	// or step would decode every element of the tensor — finite ones
+	// included — to NaN. Mirrors the float16 codec's saturating overflow
+	// policy: ±Inf elements land on the grid's end levels and decode to
+	// ±MaxFloat64.
+	if math.IsInf(lo, 0) {
+		lo = math.Copysign(math.MaxFloat64, lo)
+	}
+	if math.IsInf(hi, 0) {
+		hi = math.Copysign(math.MaxFloat64, hi)
+	}
+	step := (hi - lo) / 255
+	if math.IsInf(step, 0) {
+		// The range itself overflows float64 (e.g. ±1e308): divide before
+		// subtracting. The quantised grid is unchanged up to rounding.
+		step = hi/255 - lo/255
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(lo))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(step))
+	for _, v := range data {
+		dst = append(dst, quantise(v, lo, step))
+	}
+	return dst
+}
+
+// quantise maps v onto the affine grid (offset lo, step), clamped to
+// [0, 255]. A zero step (an all-equal or empty tensor) maps everything to
+// level 0, which decodes back to lo exactly.
+func quantise(v, lo, step float64) byte {
+	if step == 0 {
+		return 0
+	}
+	q := (v - lo) / step
+	if math.IsInf(q, 0) || math.IsNaN(q) {
+		// v−lo overflowed: v sits at the far end of an extreme range.
+		q = (v / step) - (lo / step)
+	}
+	q = math.Round(q)
+	if math.IsNaN(q) {
+		// A NaN input has no image on the grid; its quantisation is
+		// documented as meaningless, but it must still be deterministic —
+		// byte(NaN) is implementation-specific in Go, which would break
+		// cross-platform byte-identical fingerprints.
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	if q >= 255 {
+		return 255
+	}
+	return byte(q)
+}
+
+// entry is one tensor's header as surfaced by container iteration.
+type entry struct {
+	name    string
+	dtype   byte
+	shape   []int
+	numel   int
+	payload []byte
+}
+
+// walkContainer validates the container structure — magic, version,
+// name/shape headers, exact payload lengths, no duplicate names, no
+// trailing bytes — and calls fn once per tensor in stored order. It does
+// not materialise element values; decoding is the caller's choice.
+func walkContainer(b []byte, fn func(e entry) error) error {
+	if len(b) < len(containerMagic)+1 {
+		return fmt.Errorf("codec: container truncated (%d bytes)", len(b))
+	}
+	if string(b[:4]) != string(containerMagic[:]) {
+		return fmt.Errorf("codec: not a state container (bad magic %q)", b[:4])
+	}
+	if v := b[4]; v != containerVersion {
+		return fmt.Errorf("codec: unsupported container version %d (this build reads version %d)", v, containerVersion)
+	}
+	rest := b[5:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("codec: corrupt container: bad tensor count")
+	}
+	rest = rest[n:]
+	// Cap the size hint: count is unvalidated input, and a tiny corrupt
+	// payload must not be able to demand a huge allocation up front.
+	seen := make(map[string]bool, min(count, 1024))
+	for i := uint64(0); i < count; i++ {
+		nameLen, n := binary.Uvarint(rest)
+		if n <= 0 || nameLen > uint64(len(rest[n:])) {
+			return fmt.Errorf("codec: corrupt container: bad name length in tensor %d", i)
+		}
+		rest = rest[n:]
+		name := string(rest[:nameLen])
+		rest = rest[nameLen:]
+		if seen[name] {
+			return fmt.Errorf("codec: corrupt container: duplicate tensor %q", name)
+		}
+		seen[name] = true
+		if len(rest) == 0 {
+			return fmt.Errorf("codec: corrupt container: missing dtype for %q", name)
+		}
+		dtype := rest[0]
+		rest = rest[1:]
+		ndims, n := binary.Uvarint(rest)
+		if n <= 0 || ndims == 0 || ndims > 16 {
+			return fmt.Errorf("codec: corrupt container: bad rank for %q", name)
+		}
+		rest = rest[n:]
+		shape := make([]int, ndims)
+		numel := 1
+		for d := range shape {
+			dim, n := binary.Uvarint(rest)
+			if n <= 0 || dim == 0 || dim > maxDim {
+				return fmt.Errorf("codec: corrupt container: bad shape for %q", name)
+			}
+			rest = rest[n:]
+			shape[d] = int(dim)
+			// Check before multiplying: a product of per-dim-valid sizes
+			// can overflow int and wrap past a post-hoc bound.
+			if numel > maxDim/int(dim) {
+				return fmt.Errorf("codec: corrupt container: %q has too many elements", name)
+			}
+			numel *= int(dim)
+		}
+		var payloadLen int
+		switch dtype {
+		case dtFloat64:
+			payloadLen = 8 * numel
+		case dtFloat16:
+			payloadLen = 2 * numel
+		case dtInt8:
+			payloadLen = 16 + numel
+		default:
+			return fmt.Errorf("codec: corrupt container: unknown dtype %d for %q", dtype, name)
+		}
+		if payloadLen > len(rest) {
+			return fmt.Errorf("codec: corrupt container: %q payload truncated (%d of %d bytes)", name, len(rest), payloadLen)
+		}
+		if err := fn(entry{name: name, dtype: dtype, shape: shape, numel: numel, payload: rest[:payloadLen]}); err != nil {
+			return err
+		}
+		rest = rest[payloadLen:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("codec: corrupt container: %d trailing bytes", len(rest))
+	}
+	return nil
+}
+
+// decodePayload expands a tensor payload into dst (len(dst) = numel).
+func decodePayload(e entry, dst []float64) {
+	switch e.dtype {
+	case dtFloat64:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(e.payload[8*i:]))
+		}
+	case dtFloat16:
+		for i := range dst {
+			dst[i] = halfToFloat64(binary.LittleEndian.Uint16(e.payload[2*i:]))
+		}
+	case dtInt8:
+		lo := math.Float64frombits(binary.LittleEndian.Uint64(e.payload))
+		step := math.Float64frombits(binary.LittleEndian.Uint64(e.payload[8:]))
+		q := e.payload[16:]
+		for i := range dst {
+			v := lo + float64(q[i])*step
+			if math.IsInf(v, 0) {
+				// q·step overflowed even though the grid point itself is
+				// representable (extreme tensor ranges): add in halves.
+				h := float64(q[i]) * (step / 2)
+				v = lo + h + h
+			}
+			dst[i] = v
+		}
+	}
+}
+
+// Decode parses a container into a freshly allocated state dict. It
+// accepts any container regardless of which codec wrote it.
+func Decode(b []byte) (nn.StateDict, error) {
+	sd := make(nn.StateDict)
+	err := walkContainer(b, func(e entry) error {
+		data := make([]float64, e.numel)
+		decodePayload(e, data)
+		sd[e.name] = tensor.FromSlice(data, e.shape...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// DecodeInto parses a container into dst's existing tensors, allocating
+// nothing per element. The container must hold exactly dst's names with
+// matching element counts (shapes may differ in rank, mirroring the
+// reshaped-copy semantics of tensor.CopyFrom), so drifted architectures
+// fail loudly.
+func DecodeInto(b []byte, dst nn.StateDict) error {
+	decoded := 0
+	err := walkContainer(b, func(e entry) error {
+		t, ok := dst[e.name]
+		if !ok {
+			return fmt.Errorf("codec: container tensor %q not in destination state", e.name)
+		}
+		if t.Len() != e.numel {
+			return fmt.Errorf("codec: tensor %q length mismatch: container has %d elements, destination %d", e.name, e.numel, t.Len())
+		}
+		decodePayload(e, t.Data())
+		decoded++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if decoded != len(dst) {
+		return fmt.Errorf("codec: container holds %d of the destination's %d tensors", decoded, len(dst))
+	}
+	return nil
+}
+
+// LayoutEntry describes one tensor of a container without decoding its
+// elements: the validation currency of quantised replica slots.
+type LayoutEntry struct {
+	Name  string
+	Numel int
+}
+
+// Layout validates a container's structure and returns the per-tensor
+// names and element counts in stored (sorted-name) order. It is the cheap
+// pre-flight check used before adopting a payload as a replica slot: the
+// payload bytes can then be stored verbatim, with element decoding
+// deferred to the next checkout.
+func Layout(b []byte) ([]LayoutEntry, error) {
+	var out []LayoutEntry
+	err := walkContainer(b, func(e entry) error {
+		out = append(out, LayoutEntry{Name: e.name, Numel: e.numel})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package codec
+
+// IEEE 754 binary16 ("half") conversion. Encoding goes float64 → float32
+// (hardware round-to-nearest-even) → binary16 (software
+// round-to-nearest-even); the double rounding can perturb exact ties by
+// one unit in the last place, which is far inside the codec's documented
+// error bound and, crucially, deterministic. Decoding is exact: every
+// binary16 value is representable as a float32 (and float64).
+
+import "math"
+
+const (
+	// maxHalf is the largest finite binary16 value. Finite float64 inputs
+	// beyond it saturate to ±maxHalf rather than rounding to infinity: an
+	// infinity written into model state propagates through every
+	// subsequent forward pass, so saturation is the only useful overflow
+	// behaviour for a state codec. True infinities are preserved.
+	maxHalf = 65504
+)
+
+// halfFromFloat64 converts v to its binary16 bit pattern.
+func halfFromFloat64(v float64) uint16 {
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		if v > maxHalf {
+			v = maxHalf
+		} else if v < -maxHalf {
+			v = -maxHalf
+		}
+	}
+	return halfFromFloat32(float32(v))
+}
+
+// halfFromFloat32 converts f to binary16 with round-to-nearest-even.
+func halfFromFloat32(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	exp32 := int(b >> 23 & 0xff)
+	man := b & 0x7fffff
+
+	if exp32 == 0xff { // infinity or NaN
+		if man != 0 {
+			// Quiet NaN, keeping the top mantissa bits so a NaN never
+			// collapses to the infinity encoding.
+			return sign | 0x7e00 | uint16(man>>13)
+		}
+		return sign | 0x7c00
+	}
+
+	exp := exp32 - 127 + 15
+	switch {
+	case exp >= 0x1f:
+		// Overflow. Unreachable from halfFromFloat64 (finite inputs are
+		// saturated first) but kept correct for direct float32 use.
+		return sign | 0x7c00
+	case exp <= 0:
+		// Subnormal half (or underflow to zero). The 24-bit significand
+		// (implicit leading 1) shifts down to the subnormal grid, whose
+		// unit is 2^-24: target = 1.man × 2^(exp+9) = man24 >> (14-exp).
+		if exp < -10 {
+			return sign
+		}
+		man |= 0x800000
+		shift := uint(14 - exp)
+		half := uint16(man >> shift)
+		rem := man & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++ // may carry into the smallest normal, which is correct
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(man>>13)
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // mantissa carry may bump the exponent, still correct
+		}
+		return half
+	}
+}
+
+// halfToFloat64 expands a binary16 bit pattern exactly.
+func halfToFloat64(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	var b uint32
+	switch {
+	case exp == 0:
+		if man == 0 {
+			b = sign // ±0
+		} else {
+			// Subnormal half: normalise into a float32 with the implicit
+			// bit restored. Each left shift of the significand lowers the
+			// exponent by one from the subnormal base 2^-14.
+			e := uint32(127 - 15 + 1)
+			for man&0x400 == 0 {
+				man <<= 1
+				e--
+			}
+			man &= 0x3ff
+			b = sign | e<<23 | man<<13
+		}
+	case exp == 0x1f:
+		b = sign | 0xff<<23 | man<<13 // infinity / NaN
+	default:
+		b = sign | (exp-15+127)<<23 | man<<13
+	}
+	return float64(math.Float32frombits(b))
+}

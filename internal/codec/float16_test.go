@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHalfExhaustiveRoundTrip: every one of the 65,536 binary16 bit
+// patterns must survive half → float64 → half unchanged (NaN patterns
+// must stay NaN; their payload bits may differ).
+func TestHalfExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xFFFF; h++ {
+		v := halfToFloat64(uint16(h))
+		got := halfFromFloat64(v)
+		if math.IsNaN(v) {
+			if exp := uint16(h) & 0x7C00; exp != 0x7C00 {
+				t.Fatalf("pattern %#04x decoded to NaN but is not a NaN encoding", h)
+			}
+			if got&0x7C00 != 0x7C00 || got&0x03FF == 0 {
+				t.Fatalf("NaN pattern %#04x re-encoded to non-NaN %#04x", h, got)
+			}
+			continue
+		}
+		if got != uint16(h) {
+			t.Fatalf("pattern %#04x → %v → %#04x", h, v, got)
+		}
+	}
+}
+
+func TestHalfKnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},
+		{math.Pow(2, -24), 0x0001}, // smallest subnormal
+		{math.Pow(2, -14), 0x0400}, // smallest normal
+		{1 + math.Pow(2, -10), 0x3C01},
+		{1 + math.Pow(2, -11), 0x3C00}, // tie rounds to even
+		{math.Inf(1), 0x7C00},
+		{math.Inf(-1), 0xFC00},
+		// Saturation: huge finite values clamp to ±65504, never to ±Inf.
+		{1e6, 0x7BFF},
+		{-1e300, 0xFBFF},
+		{65520, 0x7BFF},
+	}
+	for _, c := range cases {
+		if got := halfFromFloat64(c.v); got != c.want {
+			t.Errorf("halfFromFloat64(%v) = %#04x, want %#04x", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHalfRelativeError pins the precision contract: for values inside
+// the binary16 normal range the round-trip relative error is at most
+// 2^-11 (plus a hair of double-rounding slack); subnormals are absolutely
+// accurate to 2^-25.
+func TestHalfRelativeError(t *testing.T) {
+	const relBound = (1 + 1e-6) / 2048 // 2^-11 with double-rounding slack
+	v := 6.2e-5
+	for v < 65000 {
+		for _, s := range []float64{v, -v} {
+			got := halfToFloat64(halfFromFloat64(s))
+			if rel := math.Abs(got-s) / math.Abs(s); rel > relBound {
+				t.Fatalf("value %v round-tripped to %v: relative error %g > %g", s, got, rel, relBound)
+			}
+		}
+		v *= 1.0173 // irrational-ish sweep across every binade
+	}
+	for _, s := range []float64{1e-7, 3.1e-6, 5.9e-5, -4.4e-6} {
+		got := halfToFloat64(halfFromFloat64(s))
+		if diff := math.Abs(got - s); diff > math.Pow(2, -25) {
+			t.Fatalf("subnormal %v round-tripped to %v: error %g > 2^-25", s, got, diff)
+		}
+	}
+}

@@ -98,6 +98,12 @@ type Params struct {
 	// always compares synchronous against pipelined and sizes the
 	// pipelined arm with this, defaulting to 1.
 	PipelineDepth int
+	// StateCodec selects the state codec for every federation's replica
+	// slots, wire payloads and checkpoints ("float64", "float16" or
+	// "int8"; "" = dense float64); set by the -state-codec flag. The
+	// scale experiment additionally sweeps all three codecs in its codec
+	// table regardless of this setting.
+	StateCodec string
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -228,6 +234,7 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		TeacherSampling: p.TeacherSampling,
 		CohortReplicas:  p.CohortReplicas,
 		PipelineDepth:   p.PipelineDepth,
+		StateCodec:      p.StateCodec,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
@@ -59,8 +60,12 @@ func scalePipelineDepth(p Params) int {
 // sampled server again on the pipelined round engine — and reports
 // participation accounting, the server-phase wall time of the first two
 // regimes, the synchronous-vs-pipelined end-to-end wall time, and the
-// sampled run's accuracy. It is the regression harness for every future
-// scaling change.
+// sampled run's accuracy. A second table re-runs the sampled arm under
+// every state codec and reports resident replica-slot bytes per device,
+// wire traffic per round, and the accuracy delta against the dense
+// float64 run — the memory/traffic/accuracy trade-off surface of the
+// codec subsystem. It is the regression harness for every future scaling
+// change.
 func ScaleSweep(p Params) (*Result, error) {
 	depth := scalePipelineDepth(p)
 	t := &Table{
@@ -70,6 +75,12 @@ func ScaleSweep(p Params) (*Result, error) {
 			"Mean round time", "Server full", "Server sampled", "Server speedup",
 			"Wall sync", fmt.Sprintf("Wall depth=%d", depth), "Pipeline speedup",
 			"Global acc", "Mean device acc"},
+	}
+	tc := &Table{
+		ID:    "scale-codec",
+		Title: "State-codec trade-off on the sampled server arm (resident slot bytes, wire traffic, accuracy)",
+		Header: []string{"Devices", "Codec", "State B/device", "State ratio",
+			"Wire MB/round", "Global acc", "Δ acc vs float64"},
 	}
 	teachers := scaleTeachersPerIter(p)
 	counts := p.ScaleDevices
@@ -98,6 +109,11 @@ func ScaleSweep(p Params) (*Result, error) {
 			cfg.SampleK = min(32, max(k/8, 4))
 		}
 		cfg.FailureRate = 0.1
+		// Only the pipelined arm runs pipelined: a -pipeline-depth flag
+		// sizes that arm (scalePipelineDepth) and must not leak into the
+		// synchronous reference arms or the codec table, which would
+		// compare depth-D against depth-D and mislabel every column.
+		cfg.PipelineDepth = 0
 
 		// A cheap heterogeneous pair: the property under test is device
 		// count, not model capacity.
@@ -140,6 +156,56 @@ func ScaleSweep(p Params) (*Result, error) {
 			pipeSpeedup = fmt.Sprintf("%.2f×", float64(wallSync)/float64(wallPiped))
 		}
 
+		// State-codec arms: the same sampled configuration under each
+		// registered codec, float64 first so the accuracy deltas have
+		// their reference. The arm whose codec matches the already-run
+		// `sampled` arm reuses that run — byte-identical configuration —
+		// instead of paying a whole federation again.
+		sampledCodec := sampled.StateCodec
+		if sampledCodec == "" {
+			sampledCodec = codec.Float64
+		}
+		var denseAcc float64
+		var denseBytes int64
+		for _, codecName := range codec.Names() {
+			armHist, armCo := hist, co
+			if codecName != sampledCodec {
+				arm := sampled
+				arm.StateCodec = codecName
+				var err error
+				armHist, armCo, err = runScaleCell(arm, ds, archs, shards)
+				if err != nil {
+					return nil, fmt.Errorf("scale %d devices (codec=%s): %w", k, codecName, err)
+				}
+			}
+			srv := armCo.Server()
+			acc := armHist.FinalGlobalAcc()
+			var wire int64
+			for _, m := range armHist {
+				wire += m.BytesUp + m.BytesDown
+			}
+			bytesPerDevice := srv.ResidentStateBytes() / int64(k)
+			delta, ratio := "—", "1.00×"
+			if codecName == codec.Float64 {
+				denseAcc = acc
+				denseBytes = bytesPerDevice
+			} else {
+				delta = fmt.Sprintf("%+.2fpp", 100*(acc-denseAcc))
+				if bytesPerDevice > 0 {
+					ratio = fmt.Sprintf("%.2f×", float64(denseBytes)/float64(bytesPerDevice))
+				}
+			}
+			tc.AddRow(
+				fmt.Sprintf("%d", k),
+				codecName,
+				fmt.Sprintf("%d", bytesPerDevice),
+				ratio,
+				fmt.Sprintf("%.3f", float64(wire)/float64(len(armHist))/1e6),
+				pct(acc),
+				delta,
+			)
+		}
+
 		var roundTime time.Duration
 		for _, m := range hist {
 			roundTime += m.Elapsed
@@ -170,7 +236,7 @@ func ScaleSweep(p Params) (*Result, error) {
 			pct(hist.FinalMeanDeviceAcc()),
 		)
 	}
-	return &Result{Tables: []*Table{t}}, nil
+	return &Result{Tables: []*Table{t, tc}}, nil
 }
 
 // runScaleCell builds and runs one federation of the sweep.

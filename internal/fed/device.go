@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/optim"
@@ -141,6 +142,31 @@ func addProximalGrad(captured, anchor nn.StateDict, params []*ag.Variable, mu fl
 // the server.
 func (d *Device) Upload() nn.StateDict {
 	return nn.CaptureState(d.Model).Clone()
+}
+
+// UploadPayload encodes the device's full model state with the given
+// state codec, as put on the (simulated or real) wire, returning the
+// payload and its element count for traffic accounting. Unlike Upload it
+// skips the intermediate dense deep copy: the codec reads the live
+// tensors directly.
+func (d *Device) UploadPayload(c codec.Codec) ([]byte, int, error) {
+	sd := nn.CaptureState(d.Model)
+	b, err := codec.Encode(c, sd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fed: device %d upload: %w", d.ID, err)
+	}
+	return b, sd.Numel(), nil
+}
+
+// DownloadPayload decodes a codec container received from the server and
+// installs it as Download does. The container is self-describing, so no
+// codec handle is needed on the receive side.
+func (d *Device) DownloadPayload(b []byte) error {
+	sd, err := codec.Decode(b)
+	if err != nil {
+		return fmt.Errorf("fed: device %d download: %w", d.ID, err)
+	}
+	return d.Download(sd)
 }
 
 // Download installs server-provided parameters into the device model and

@@ -1,14 +1,18 @@
 package fed
 
-// WireBytes returns the on-the-wire payload size, in bytes, of a state
-// dict carrying numel float64 elements. Every byte-accounting site
-// (coordinator uploads/downloads, baseline traffic columns) must go
-// through this helper so a future quantised or compressed wire format
-// changes the accounting in exactly one place.
-func WireBytes(numel int) int64 {
-	return int64(numel) * wireBytesPerElement
-}
+// WidthFloat64 is the wire width of one dense float64 tensor element —
+// the encoding the baselines (and the identity "float64" state codec)
+// put on the wire.
+const WidthFloat64 = 8
 
-// wireBytesPerElement is the wire width of one tensor element: the dense
-// float64 encoding used by nn.EncodeState today.
-const wireBytesPerElement = 8
+// WireBytes returns the on-the-wire payload size, in bytes, of a state
+// payload carrying numel tensor elements at width bytes per element
+// (codec.Codec.Width for codec-aware callers, WidthFloat64 for the dense
+// baselines). Every byte-accounting site — coordinator uploads and
+// downloads, baseline traffic columns — must go through this helper so
+// the traffic numbers stay comparable across codecs: per-tensor container
+// overhead (names, shapes, quantisation parameters) is deliberately
+// excluded, making the column a pure element-width account.
+func WireBytes(numel, width int) int64 {
+	return int64(numel) * int64(width)
+}

@@ -4,17 +4,22 @@ import "testing"
 
 func TestWireBytes(t *testing.T) {
 	cases := []struct {
-		numel int
-		want  int64
+		numel, width int
+		want         int64
 	}{
-		{0, 0},
-		{1, 8},
-		{57564, 460512},    // the golden run's round-1 payload total
-		{1 << 30, 8 << 30}, // must not overflow 32-bit arithmetic
+		{0, 8, 0},
+		{1, 8, 8},
+		{57564, 8, 460512}, // the golden run's round-1 payload total
+		// The quantised codec widths: float16 (2 B/elem) and int8
+		// (1 B/elem) scale the same element count down 4× and 8×.
+		{57564, 2, 115128},
+		{57564, 1, 57564},
+		{1 << 30, 8, 8 << 30}, // must not overflow 32-bit arithmetic
+		{1 << 30, 1, 1 << 30},
 	}
 	for _, c := range cases {
-		if got := WireBytes(c.numel); got != c.want {
-			t.Errorf("WireBytes(%d) = %d, want %d", c.numel, got, c.want)
+		if got := WireBytes(c.numel, c.width); got != c.want {
+			t.Errorf("WireBytes(%d, %d) = %d, want %d", c.numel, c.width, got, c.want)
 		}
 	}
 }

@@ -6,49 +6,98 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/nn"
 )
 
-// checkpoint is the gob wire form of a server checkpoint: the registered
-// architectures, per-device data-size weights, and every model's state
-// dict.
+// Checkpoint framing. Every checkpoint starts with a 4-byte magic and a
+// 1-byte format version ahead of the gob body, so a reader rejects
+// foreign blobs and version mismatches with a clear error instead of
+// failing obscurely somewhere inside gob decoding. Version 2 introduced
+// the state-codec payloads (codec containers instead of nn.EncodeState
+// gob); version-1 checkpoints predate the header entirely, so their first
+// bytes cannot match the magic and they are reported as unrecognised.
+var (
+	serverCheckpointMagic      = [4]byte{'F', 'Z', 'S', 'C'}
+	coordinatorCheckpointMagic = [4]byte{'F', 'Z', 'C', 'C'}
+)
+
+// checkpointVersion is the format version this build writes and reads.
+const checkpointVersion = 2
+
+// writeCheckpointHeader frames a checkpoint body.
+func writeCheckpointHeader(w io.Writer, magic [4]byte) error {
+	_, err := w.Write(append(magic[:], checkpointVersion))
+	return err
+}
+
+// readCheckpointHeader validates a checkpoint's magic and version.
+func readCheckpointHeader(r io.Reader, magic [4]byte, kind string) error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("fedzkt: reading %s checkpoint header: %w", kind, err)
+	}
+	if !bytes.Equal(hdr[:4], magic[:]) {
+		return fmt.Errorf("fedzkt: not a %s checkpoint (bad magic %q; pre-versioned checkpoints from before the state-codec format are not readable)", kind, hdr[:4])
+	}
+	if hdr[4] != checkpointVersion {
+		return fmt.Errorf("fedzkt: unsupported %s checkpoint version %d (this build reads version %d)", kind, hdr[4], checkpointVersion)
+	}
+	return nil
+}
+
+// checkpoint is the gob body of a server checkpoint: the registered
+// architectures, per-device data-size weights, and every model's state as
+// a self-describing codec container.
 type checkpoint struct {
-	Version  int
-	Archs    []string
-	Global   []byte
-	Gen      []byte
+	// Codec records the state codec the server ran with, for
+	// inspection; the payloads are self-describing, so loading does not
+	// depend on it.
+	Codec string
+	Archs []string
+	// Global and Gen are always dense float64 containers: they are live
+	// training state, and exact restoration keeps a resumed trajectory on
+	// the saved one.
+	Global []byte
+	Gen    []byte
+	// Replicas hold each device's slot in its resident form — quantised
+	// slots are persisted verbatim, so a same-codec reload is bit-exact
+	// and costs no re-encode.
 	Replicas [][]byte
 	// Weights records each device's data-size weight (the weighted
-	// teacher-ensemble input). Older version-1 checkpoints without the
-	// field decode as nil and restore with weight 1.
+	// teacher-ensemble input).
 	Weights []int
 }
 
-// checkpointVersion guards against loading incompatible snapshots.
-const checkpointVersion = 1
-
 // SaveCheckpoint serialises the server's full learned state — global
 // model, generator, and every device replica — so a long federation can
-// be stopped and resumed. The configuration is not saved; the caller
-// reconstructs the server with NewServer and the same Config before
-// loading.
+// be stopped and resumed. Replicas are persisted in their slot encoding
+// (the configured state codec), behind a versioned header. The
+// configuration is not saved; the caller reconstructs the server with
+// NewServer and the same Config before loading.
 func (s *Server) SaveCheckpoint(w io.Writer) error {
-	cp := checkpoint{Version: checkpointVersion}
-	var err error
-	if cp.Global, err = nn.EncodeState(nn.CaptureState(s.global)); err != nil {
+	f64, err := codec.Get(codec.Float64)
+	if err != nil {
+		return err
+	}
+	cp := checkpoint{Codec: s.codec.Name()}
+	if cp.Global, err = codec.Encode(f64, nn.CaptureState(s.global)); err != nil {
 		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
 	}
-	if cp.Gen, err = nn.EncodeState(nn.CaptureState(s.gen)); err != nil {
+	if cp.Gen, err = codec.Encode(f64, nn.CaptureState(s.gen)); err != nil {
 		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
 	}
 	for _, ref := range s.cohorts.devices {
-		b, err := nn.EncodeState(ref.member.state)
+		b, _, err := s.cohorts.payloadOf(ref)
 		if err != nil {
 			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", ref.member.id, err)
 		}
 		cp.Replicas = append(cp.Replicas, b)
 		cp.Archs = append(cp.Archs, ref.cohort.arch)
 		cp.Weights = append(cp.Weights, ref.member.weight)
+	}
+	if err := writeCheckpointHeader(w, serverCheckpointMagic); err != nil {
+		return fmt.Errorf("fedzkt: writing checkpoint: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("fedzkt: writing checkpoint: %w", err)
@@ -59,14 +108,20 @@ func (s *Server) SaveCheckpoint(w io.Writer) error {
 // LoadCheckpoint restores a snapshot written by SaveCheckpoint into a
 // freshly constructed server. Devices not yet registered are registered
 // with their checkpointed architecture and data-size weight;
-// already-registered devices must match positionally.
+// already-registered devices must match positionally. Replica payloads
+// are self-describing containers, so a checkpoint written under one
+// codec loads into a server configured with another: same-codec payloads
+// are adopted verbatim (bit-exact), foreign-dtype payloads are
+// re-encoded into the configured codec at load so the slots keep its
+// memory and accounting invariants, and identity servers decode them
+// into dense slots.
 func (s *Server) LoadCheckpoint(r io.Reader) error {
+	if err := readCheckpointHeader(r, serverCheckpointMagic, "server"); err != nil {
+		return err
+	}
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return fmt.Errorf("fedzkt: reading checkpoint: %w", err)
-	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("fedzkt: checkpoint version %d, want %d", cp.Version, checkpointVersion)
 	}
 	if len(cp.Replicas) != len(cp.Archs) {
 		return fmt.Errorf("fedzkt: corrupt checkpoint: %d replicas for %d archs", len(cp.Replicas), len(cp.Archs))
@@ -92,14 +147,14 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 			return fmt.Errorf("fedzkt: restoring device %d: %w", i, err)
 		}
 	}
-	gsd, err := nn.DecodeState(cp.Global)
+	gsd, err := codec.Decode(cp.Global)
 	if err != nil {
 		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
 	}
 	if err := nn.LoadState(s.global, gsd); err != nil {
 		return fmt.Errorf("fedzkt: checkpoint global: %w", err)
 	}
-	gensd, err := nn.DecodeState(cp.Gen)
+	gensd, err := codec.Decode(cp.Gen)
 	if err != nil {
 		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
 	}
@@ -107,11 +162,7 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("fedzkt: checkpoint generator: %w", err)
 	}
 	for i, b := range cp.Replicas {
-		sd, err := nn.DecodeState(b)
-		if err != nil {
-			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
-		}
-		if err := s.cohorts.devices[i].member.state.LoadFrom(sd); err != nil {
+		if err := s.cohorts.installPayload(s.cohorts.devices[i], b); err != nil {
 			return fmt.Errorf("fedzkt: checkpoint replica %d: %w", i, err)
 		}
 		if cp.Weights != nil {
@@ -131,40 +182,39 @@ func (s *Server) CheckpointBytes() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// coordinatorCheckpoint is the gob wire form of a whole-federation
-// checkpoint: the server snapshot plus the round cursor the pipelined
-// engine needs to resume. Device-local state is deliberately not
-// serialised — on load every device is reconciled to its server replica,
-// the same state-dict slots the stale-download path reuses.
+// coordinatorCheckpoint is the gob body of a whole-federation checkpoint:
+// the server snapshot plus the round cursor the pipelined engine needs to
+// resume. Device-local state is deliberately not serialised — on load
+// every device is reconciled to its server replica, the same slots the
+// stale-download path reuses.
 type coordinatorCheckpoint struct {
-	Version   int
 	NextRound int
 	Server    []byte
 }
 
-// coordinatorCheckpointVersion guards against incompatible snapshots.
-const coordinatorCheckpointVersion = 1
-
 // SaveCheckpoint serialises the coordinator's resumable state: the server
 // checkpoint (global model, generator, every replica) and the first
-// unfinalised round. After a clean stop the snapshot is an exact round
-// boundary. After a cancellation it is consistent but approximate: work
-// the in-flight round already did is retained in the snapshot — uploads
-// absorbed into replicas, and any partial distillation progress in the
-// global model, generator and their optimisers — and the resumed Run
-// re-runs that round on top of it, so a resumed trajectory is not a
-// bit-exact replay of an uninterrupted one. Rolling the server back to
-// the boundary would require a full per-round state copy, which this
-// deliberately does not pay for.
+// unfinalised round, behind the versioned coordinator header. After a
+// clean stop the snapshot is an exact round boundary. After a
+// cancellation it is consistent but approximate: work the in-flight round
+// already did is retained in the snapshot — uploads absorbed into
+// replicas, and any partial distillation progress in the global model,
+// generator and their optimisers — and the resumed Run re-runs that round
+// on top of it, so a resumed trajectory is not a bit-exact replay of an
+// uninterrupted one. Rolling the server back to the boundary would
+// require a full per-round state copy, which this deliberately does not
+// pay for.
 func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 	var buf bytes.Buffer
 	if err := c.server.SaveCheckpoint(&buf); err != nil {
 		return err
 	}
 	cp := coordinatorCheckpoint{
-		Version:   coordinatorCheckpointVersion,
 		NextRound: c.nextRound,
 		Server:    buf.Bytes(),
+	}
+	if err := writeCheckpointHeader(w, coordinatorCheckpointMagic); err != nil {
+		return fmt.Errorf("fedzkt: writing coordinator checkpoint: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("fedzkt: writing coordinator checkpoint: %w", err)
@@ -180,12 +230,12 @@ func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 // last state the server saw instead. A subsequent Run continues from the
 // first unfinalised round, replaying the client-sampling stream up to it.
 func (c *Coordinator) LoadCheckpoint(r io.Reader) error {
+	if err := readCheckpointHeader(r, coordinatorCheckpointMagic, "coordinator"); err != nil {
+		return err
+	}
 	var cp coordinatorCheckpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return fmt.Errorf("fedzkt: reading coordinator checkpoint: %w", err)
-	}
-	if cp.Version != coordinatorCheckpointVersion {
-		return fmt.Errorf("fedzkt: coordinator checkpoint version %d, want %d", cp.Version, coordinatorCheckpointVersion)
 	}
 	if cp.NextRound < 1 {
 		return fmt.Errorf("fedzkt: corrupt coordinator checkpoint: next round %d", cp.NextRound)

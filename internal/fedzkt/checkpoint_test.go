@@ -3,6 +3,7 @@ package fedzkt
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"github.com/fedzkt/fedzkt/internal/nn"
@@ -98,6 +99,65 @@ func TestCheckpointCorrupt(t *testing.T) {
 	}
 	if err := srv.LoadCheckpoint(bytes.NewReader([]byte("nonsense"))); err == nil {
 		t.Fatal("want error for corrupt checkpoint")
+	}
+}
+
+// TestCheckpointVersioning: the leading magic + format-version byte turns
+// foreign blobs and version mismatches into immediate, descriptive errors
+// instead of obscure mid-decode gob failures.
+func TestCheckpointVersioning(t *testing.T) {
+	srv, err := NewServer(tinyConfig(), tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Register("mlp", nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := srv.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A future (or past) format version is named in the error.
+	bumped := bytes.Clone(blob)
+	bumped[4] = 99
+	err = srv.LoadCheckpoint(bytes.NewReader(bumped))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("want unsupported-version error naming version 99, got %v", err)
+	}
+
+	// A pre-versioned (or foreign) blob fails on the magic, not in gob.
+	err = srv.LoadCheckpoint(bytes.NewReader(append([]byte("gobXstuff"), blob...)))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+
+	// A truncated header is reported as such.
+	if err := srv.LoadCheckpoint(bytes.NewReader(blob[:3])); err == nil {
+		t.Fatal("want error for truncated header")
+	}
+
+	// A coordinator checkpoint is not a server checkpoint: the distinct
+	// magics keep the two blob kinds from being confused.
+	ds := tinyDataset(77)
+	shards := [][]int{{0, 1, 2}, {3, 4, 5}}
+	cfg := tinyConfig()
+	cfg.Rounds = 1
+	co, err := New(cfg, ds, []string{"mlp"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coBlob bytes.Buffer
+	if err := co.SaveCheckpoint(&coBlob); err != nil {
+		t.Fatal(err)
+	}
+	err = srv.LoadCheckpoint(bytes.NewReader(coBlob.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "server checkpoint") {
+		t.Fatalf("want server-checkpoint magic error, got %v", err)
+	}
+	err = co.LoadCheckpoint(bytes.NewReader(blob))
+	if err == nil || !strings.Contains(err.Error(), "coordinator checkpoint") {
+		t.Fatalf("want coordinator-checkpoint magic error, got %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package fedzkt
 import (
 	"fmt"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/optim"
 )
@@ -14,27 +15,41 @@ import (
 // memory on the server and the ensemble forward touched 1,000 distinct
 // module graphs. Cohorts group devices by architecture: each cohort owns a
 // small pool of live modules (grown on demand, bounded by the retention
-// cap) and a per-device nn.StateDict slot holding that device's replica
-// parameters. A device's state is swapped into a pooled module only while
-// a distillation phase needs it resident — an O(#tensors) slice-header
-// exchange via nn.StateBinding, not an element copy — so server memory
-// scales with (distinct architectures × pool size) live modules plus the
-// irreducible per-device parameter data.
+// cap) and a per-device slot holding that device's replica parameters. A
+// device's state becomes resident in a pooled module only while a
+// distillation phase needs it, so server memory scales with (distinct
+// architectures × pool size) live modules plus the irreducible per-device
+// parameter data.
+//
+// The per-device slot has two representations, selected by the state
+// codec (Config.StateCodec):
+//
+//   - identity ("float64"): a dense nn.StateDict, made resident by an
+//     O(#tensors) slice-header exchange via nn.StateBinding — no element
+//     copy, byte-identical to the pre-codec implementation;
+//   - quantised ("float16", "int8"): a codec-encoded byte buffer, decoded
+//     into the pooled module's tensors on checkout and re-encoded on a
+//     writable release. Residency costs one element pass each way, and in
+//     exchange a slot holds 2 or 1 bytes per element instead of 8 — the
+//     resident-memory lever that pushes device counts toward 10⁵.
 
 // member is one registered device inside a cohort: its replica parameters
-// (owned by the dict when not checked out) and its data-size weight for
-// the weighted ensemble.
+// (exactly one of state and enc is in use, per the codec mode) and its
+// data-size weight for the weighted ensemble.
 type member struct {
 	id     int
-	state  nn.StateDict
+	state  nn.StateDict // dense slot (identity codec); nil when quantised
+	enc    []byte       // codec-encoded slot (quantised codecs); nil when identity
 	weight int
 }
 
 // replicaSlot is one pooled live module of a cohort, with the state
-// binding and optimiser that serve whichever member is swapped in.
+// binding, captured state view and optimiser that serve whichever member
+// is resident.
 type replicaSlot struct {
 	module  nn.Module
 	binding *nn.StateBinding
+	sd      nn.StateDict // the module's own state, the codec decode target
 	opt     *optim.SGD
 }
 
@@ -44,11 +59,20 @@ type cohort struct {
 	build   func() (nn.Module, error)
 	members []*member
 	pool    []*replicaSlot
+	// The architecture's state signature, captured at first registration:
+	// sorted names, per-tensor element counts and the total. Quantised
+	// installs validate incoming dicts and payloads against it, taking
+	// over the strict-validation role nn.StateDict.LoadFrom plays for
+	// dense slots.
+	names []string
+	lens  []int
+	numel int
 }
 
 // slot returns the i-th pooled live module, growing the pool on demand.
 // Pool modules carry no meaningful values of their own — a checkout always
-// swaps a member's state in before use — so their build RNG is arbitrary.
+// makes a member's state resident before use — so their build RNG is
+// arbitrary.
 func (c *cohort) slot(i int, lr float64) *replicaSlot {
 	for len(c.pool) <= i {
 		m, err := c.build()
@@ -60,10 +84,41 @@ func (c *cohort) slot(i int, lr float64) *replicaSlot {
 		c.pool = append(c.pool, &replicaSlot{
 			module:  m,
 			binding: nn.BindState(m),
+			sd:      nn.CaptureState(m),
 			opt:     optim.NewSGD(m.Params(), lr, 0, 0),
 		})
 	}
 	return c.pool[i]
+}
+
+// checkLayout validates a quantised install against the cohort's state
+// signature: exactly the registered names, each with its registered
+// element count.
+func (c *cohort) checkLayout(entries []codec.LayoutEntry) error {
+	if len(entries) != len(c.names) {
+		return fmt.Errorf("fedzkt: %q state has %d tensors, want %d", c.arch, len(entries), len(c.names))
+	}
+	for i, e := range entries {
+		// Containers store sorted names, matching the captured signature.
+		if e.Name != c.names[i] {
+			return fmt.Errorf("fedzkt: %q state tensor %d is %q, want %q", c.arch, i, e.Name, c.names[i])
+		}
+		if e.Numel != c.lens[i] {
+			return fmt.Errorf("fedzkt: %q state %q has %d elements, want %d", c.arch, e.Name, e.Numel, c.lens[i])
+		}
+	}
+	return nil
+}
+
+// dictLayout renders a state dict in the validation currency of
+// checkLayout.
+func dictLayout(sd nn.StateDict) []codec.LayoutEntry {
+	names := sd.Names()
+	entries := make([]codec.LayoutEntry, len(names))
+	for i, n := range names {
+		entries[i] = codec.LayoutEntry{Name: n, Numel: sd[n].Len()}
+	}
+	return entries
 }
 
 // deviceRef locates a device's cohort and member record by id.
@@ -73,10 +128,15 @@ type deviceRef struct {
 }
 
 // replicaLease is a checked-out replica: a pooled live module currently
-// holding the member's state, until release swaps it back out.
+// holding the member's state, until release returns it. writable records
+// whether the phase may mutate the module — a quantised release only
+// re-encodes writable leases, so read-only phases (teacher forwards,
+// evaluation) never pay a requantisation pass nor accumulate
+// quantisation drift.
 type replicaLease struct {
-	member *member
-	slot   *replicaSlot
+	member   *member
+	slot     *replicaSlot
+	writable bool
 }
 
 // cohortSet is the server's replica registry: every cohort, indexed by
@@ -90,27 +150,54 @@ type cohortSet struct {
 	// release (0 = unbounded). Checkouts may grow pools past the bound
 	// transiently when an iteration needs more members resident at once.
 	retain int
+	// codec is the slot encoding; quantised is false exactly for the
+	// identity float64 codec, which keeps the legacy dense-dict slots.
+	codec     codec.Codec
+	quantised bool
 }
 
-func newCohortSet(lr float64, retain int) *cohortSet {
-	return &cohortSet{byArch: make(map[string]*cohort), lr: lr, retain: retain}
+func newCohortSet(lr float64, retain int, c codec.Codec) *cohortSet {
+	return &cohortSet{
+		byArch:    make(map[string]*cohort),
+		lr:        lr,
+		retain:    retain,
+		codec:     c,
+		quantised: !codec.Identity(c),
+	}
 }
 
 // add registers a device: the module carries the device's initial replica
-// values, and its tensors become the member's state dict (the module
-// object itself is discarded, so registration allocates the parameter data
-// exactly once).
-func (cs *cohortSet) add(arch string, m nn.Module, weight int, build func() (nn.Module, error)) int {
+// values, and its state is captured into the member's slot (the module
+// object itself is discarded, so registration allocates the slot exactly
+// once).
+func (cs *cohortSet) add(arch string, m nn.Module, weight int, build func() (nn.Module, error)) (int, error) {
 	c, ok := cs.byArch[arch]
 	if !ok {
 		c = &cohort{arch: arch, build: build}
 		cs.byArch[arch] = c
 		cs.cohorts = append(cs.cohorts, c)
 	}
-	mem := &member{id: len(cs.devices), state: nn.CaptureState(m), weight: weight}
+	sd := nn.CaptureState(m)
+	if c.names == nil {
+		for _, e := range dictLayout(sd) {
+			c.names = append(c.names, e.Name)
+			c.lens = append(c.lens, e.Numel)
+			c.numel += e.Numel
+		}
+	}
+	mem := &member{id: len(cs.devices), weight: weight}
+	if cs.quantised {
+		enc, err := codec.Encode(cs.codec, sd)
+		if err != nil {
+			return 0, fmt.Errorf("fedzkt: encoding %q replica slot: %w", arch, err)
+		}
+		mem.enc = enc
+	} else {
+		mem.state = sd
+	}
 	c.members = append(c.members, mem)
 	cs.devices = append(cs.devices, deviceRef{cohort: c, member: mem})
-	return mem.id
+	return mem.id, nil
 }
 
 // numDevices returns the number of registered devices.
@@ -130,6 +217,21 @@ func (cs *cohortSet) liveModules() int {
 	return n
 }
 
+// stateBytes returns the resident size of every member slot: encoded
+// buffer lengths in quantised mode, dense element bytes in identity mode
+// — the per-device memory quantity the quantised codecs shrink.
+func (cs *cohortSet) stateBytes() int64 {
+	var total int64
+	for _, d := range cs.devices {
+		if cs.quantised {
+			total += int64(len(d.member.enc))
+		} else {
+			total += int64(d.member.state.Numel()) * 8
+		}
+	}
+	return total
+}
+
 // ref validates a device id.
 func (cs *cohortSet) ref(id int) (deviceRef, error) {
 	if id < 0 || id >= len(cs.devices) {
@@ -147,8 +249,83 @@ func (cs *cohortSet) weights() []int {
 	return out
 }
 
+// stateOf returns a dense deep copy of a member's slot (the download and
+// inspection currency). Quantised slots decode; identity slots clone.
+func (cs *cohortSet) stateOf(ref deviceRef) (nn.StateDict, error) {
+	if cs.quantised {
+		sd, err := codec.Decode(ref.member.enc)
+		if err != nil {
+			return nil, fmt.Errorf("fedzkt: decoding device %d slot: %w", ref.member.id, err)
+		}
+		return sd, nil
+	}
+	return ref.member.state.Clone(), nil
+}
+
+// payloadOf returns a member's slot in wire form — the codec container a
+// download or checkpoint carries — plus its element count for traffic
+// accounting. Quantised slots already hold the container and only pay a
+// byte copy; identity slots encode a dense float64 container.
+func (cs *cohortSet) payloadOf(ref deviceRef) ([]byte, int, error) {
+	if cs.quantised {
+		return append([]byte(nil), ref.member.enc...), ref.cohort.numel, nil
+	}
+	b, err := codec.Encode(cs.codec, ref.member.state)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fedzkt: encoding device %d state: %w", ref.member.id, err)
+	}
+	return b, ref.cohort.numel, nil
+}
+
+// installDict replaces a member's slot contents with src, validating
+// names and element counts against the architecture signature.
+func (cs *cohortSet) installDict(ref deviceRef, src nn.StateDict) error {
+	if !cs.quantised {
+		return ref.member.state.LoadFrom(src)
+	}
+	if err := ref.cohort.checkLayout(dictLayout(src)); err != nil {
+		return err
+	}
+	enc, err := cs.codec.Append(ref.member.enc[:0], src)
+	if err != nil {
+		return fmt.Errorf("fedzkt: encoding device %d slot: %w", ref.member.id, err)
+	}
+	ref.member.enc = enc
+	return nil
+}
+
+// installPayload replaces a member's slot contents with an encoded
+// container (an uploaded payload or a checkpointed replica), validating
+// its layout against the architecture signature. Quantised slots adopt a
+// copy of the container bytes — verbatim when the payload already uses
+// the configured codec's encoding (the common case: in-process and
+// transport uploads; bit-exact for same-codec checkpoint reloads), or
+// re-encoded when the dtype differs (a cross-codec checkpoint load), so
+// the slot always honours the configured codec's memory bound and
+// nominal-width traffic accounting. Identity slots decode into their
+// dense dict.
+func (cs *cohortSet) installPayload(ref deviceRef, payload []byte) error {
+	entries, err := codec.Layout(payload)
+	if err != nil {
+		return err
+	}
+	if err := ref.cohort.checkLayout(entries); err != nil {
+		return err
+	}
+	if cs.quantised {
+		payload, _, err = codec.Reencode(cs.codec, payload)
+		if err != nil {
+			return err
+		}
+		ref.member.enc = append(ref.member.enc[:0], payload...)
+		return nil
+	}
+	return codec.DecodeInto(payload, ref.member.state)
+}
+
 // checkout makes the given devices resident: each member's state is
-// swapped into a pooled live module of its cohort and the module's
+// installed in a pooled live module of its cohort (a slice-header swap in
+// identity mode, a codec decode in quantised mode) and the module's
 // trainability/training flags are set for the requesting phase. The
 // returned leases follow the order of ids, which must be distinct. Every
 // checkout must be paired with exactly one release.
@@ -163,27 +340,46 @@ func (cs *cohortSet) checkout(ids []int, trainable, training bool) []*replicaLea
 		si := next[ref.cohort]
 		next[ref.cohort] = si + 1
 		slot := ref.cohort.slot(si, cs.lr)
-		if err := slot.binding.Swap(ref.member.state); err != nil {
+		if cs.quantised {
+			if err := codec.DecodeInto(ref.member.enc, slot.sd); err != nil {
+				// Installs validate every payload against the architecture,
+				// so a mismatch here is a programming error.
+				panic(fmt.Sprintf("fedzkt: checkout device %d: %v", id, err))
+			}
+		} else if err := slot.binding.Swap(ref.member.state); err != nil {
 			// Absorb and registration validate every state dict against the
 			// architecture, so a mismatch here is a programming error.
 			panic(fmt.Sprintf("fedzkt: checkout device %d: %v", id, err))
 		}
 		nn.SetTrainable(slot.module, trainable)
 		slot.module.SetTraining(training)
-		leases[i] = &replicaLease{member: ref.member, slot: slot}
+		leases[i] = &replicaLease{member: ref.member, slot: slot, writable: trainable}
 	}
 	return leases
 }
 
-// release swaps every leased member's (possibly updated) state back out to
-// its dict and trims each touched cohort's pool to the retention bound.
+// release returns every leased member's (possibly updated) state to its
+// slot — swapping the dict back out in identity mode, re-encoding
+// writable leases in quantised mode (read-only leases are dropped
+// unencoded: the slot still holds the authoritative bytes, so read-only
+// phases cause no quantisation drift) — and trims each touched cohort's
+// pool to the retention bound.
 func (cs *cohortSet) release(leases []*replicaLease) {
-	touched := make(map[*cohort]bool, len(cs.cohorts))
 	for _, l := range leases {
-		if err := l.slot.binding.Swap(l.member.state); err != nil {
+		if cs.quantised {
+			if !l.writable {
+				continue
+			}
+			enc, err := cs.codec.Append(l.member.enc[:0], l.slot.sd)
+			if err != nil {
+				panic(fmt.Sprintf("fedzkt: release device %d: %v", l.member.id, err))
+			}
+			l.member.enc = enc
+		} else if err := l.slot.binding.Swap(l.member.state); err != nil {
 			panic(fmt.Sprintf("fedzkt: release device %d: %v", l.member.id, err))
 		}
 	}
+	touched := make(map[*cohort]bool, len(cs.cohorts))
 	for _, l := range leases {
 		c := cs.devices[l.member.id].cohort
 		if !touched[c] && cs.retain > 0 && len(c.pool) > cs.retain {

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -109,6 +110,17 @@ type Config struct {
 	// work. For a fixed depth and seed, metrics are byte-identical across
 	// worker counts.
 	PipelineDepth int
+	// StateCodec selects the state codec for server replica slots,
+	// simulated upload/download payloads, and checkpoints: "float64" (the
+	// identity encoding, also the "" default — byte-identical to the
+	// pre-codec dense pipeline), "float16" (2 bytes/element), or "int8"
+	// (per-tensor affine quantisation, 1 byte/element). Quantised codecs
+	// cut resident server state up to 8× and wire traffic accounting
+	// follows the codec's element width; in exchange every state that
+	// crosses the wire or rests in a slot is rounded to the codec's grid,
+	// which perturbs training (the scale sweep's codec table reports the
+	// accuracy delta).
+	StateCodec string
 	// GlobalArch names the server model architecture (default "global").
 	GlobalArch string
 	// Seed drives all randomness in the run.
@@ -218,6 +230,9 @@ type Coordinator struct {
 	server  *Server
 	pool    *sched.Pool
 	sampler sched.Sampler
+	// codec encodes every simulated upload/download payload (the server
+	// shares the same codec for its replica slots).
+	codec codec.Codec
 	// nextRound is the first round the next Run call executes: 1 for a
 	// fresh coordinator, advanced past every finalised round by Run, and
 	// restored by LoadCheckpoint, so a cancelled run can be resumed.
@@ -265,7 +280,7 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler, nextRound: 1}
+	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler, codec: server.Codec(), nextRound: 1}
 	for i := range shards {
 		arch := archs[i%len(archs)]
 		devModel, err := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
@@ -450,14 +465,14 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		// 4. Download: devices that completed the round receive their own
 		// updated parameters (stragglers keep stale models).
 		for _, id := range completed {
-			sd, err := c.server.ReplicaState(id)
+			p, numel, err := c.publishDownload(id)
 			if err != nil {
 				return hist, err
 			}
-			if err := c.devices[id].Download(sd); err != nil {
+			if err := c.applyDownload(id, p); err != nil {
 				return hist, err
 			}
-			m.BytesDown += fed.WireBytes(sd.Numel())
+			m.BytesDown += fed.WireBytes(numel, c.codec.Width())
 		}
 
 		// 5. Evaluate.
@@ -473,15 +488,56 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 	return hist, nil
 }
 
+// statePayload carries one model state across the simulated wire: the
+// codec container under a quantised codec, or a dense deep copy on the
+// identity fast path (the float64 container round trip is bit-identical
+// — pinned by TestFloat64CodecMatchesDefault — so in-process it would
+// only add an encode/decode pass per device on the default
+// configuration). Exactly one field is set; either form is an
+// independent copy, safe to hand across engine stages.
+type statePayload struct {
+	enc []byte
+	sd  nn.StateDict
+}
+
+// publishDownload returns device id's post-round replica in wire form
+// plus its element count for traffic accounting. Shared by the
+// synchronous and pipelined engines so the identity-fast-path condition
+// and the accounting can never drift between them.
+func (c *Coordinator) publishDownload(id int) (statePayload, int, error) {
+	if codec.Identity(c.codec) {
+		sd, err := c.server.ReplicaState(id)
+		if err != nil {
+			return statePayload{}, 0, err
+		}
+		return statePayload{sd: sd}, sd.Numel(), nil
+	}
+	b, numel, err := c.server.ReplicaPayload(id)
+	if err != nil {
+		return statePayload{}, 0, err
+	}
+	return statePayload{enc: b}, numel, nil
+}
+
+// applyDownload installs one published state into its device.
+func (c *Coordinator) applyDownload(id int, p statePayload) error {
+	if p.sd != nil {
+		return c.devices[id].Download(p.sd)
+	}
+	return c.devices[id].DownloadPayload(p.enc)
+}
+
 // localPhase runs Algorithm 2 on every sampled device via the sharded
 // scheduler and returns the device ids that completed within the round
-// together with their uploaded states, in ascending-id order. The uploads
-// are deep copies staged for the server but not yet absorbed — the
-// synchronous engine absorbs them immediately, the pipelined engine hands
-// them to the server stage so they cannot race an in-flight distillation.
-// Each task touches only its own device, so the round's outcome is
-// identical for any worker count.
-func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m *fed.RoundMetrics) ([]int, []nn.StateDict, error) {
+// together with their uploaded states in wire form — encoded with the
+// run's codec, exactly the bytes a real uplink would carry, or dense
+// copies on the identity fast path — in ascending-id order. The uploads
+// are staged for the server but not yet absorbed: the synchronous engine
+// absorbs them immediately, the pipelined engine hands them to the
+// server stage so they cannot race an in-flight distillation. Each task
+// touches only its own device, so the round's outcome is identical for
+// any worker count.
+func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m *fed.RoundMetrics) ([]int, []statePayload, error) {
 	cfg := c.cfg
 	local := fed.LocalConfig{
 		Epochs:      cfg.LocalEpochs,
@@ -513,30 +569,46 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 			return nil, nil, fmt.Errorf("fedzkt: local phase device %d: %w", r.Device, r.Err)
 		}
 	}
-	uploads := make([]nn.StateDict, len(completed))
+	uploads := make([]statePayload, len(completed))
+	identity := codec.Identity(c.codec)
 	for i, id := range completed {
-		uploads[i] = c.devices[id].Upload()
-		m.BytesUp += fed.WireBytes(uploads[i].Numel())
+		if identity {
+			sd := c.devices[id].Upload()
+			uploads[i] = statePayload{sd: sd}
+			m.BytesUp += fed.WireBytes(sd.Numel(), c.codec.Width())
+			continue
+		}
+		payload, numel, err := c.devices[id].UploadPayload(c.codec)
+		if err != nil {
+			return nil, nil, err
+		}
+		uploads[i] = statePayload{enc: payload}
+		m.BytesUp += fed.WireBytes(numel, c.codec.Width())
 	}
 	return completed, uploads, nil
 }
 
 // absorbUploads installs a round's staged uploads into the server
 // replicas, in the staged (ascending-id) order.
-func (c *Coordinator) absorbUploads(completed []int, uploads []nn.StateDict) error {
+func (c *Coordinator) absorbUploads(completed []int, uploads []statePayload) error {
 	for i, id := range completed {
-		if err := c.server.Absorb(id, uploads[i]); err != nil {
+		var err error
+		if uploads[i].sd != nil {
+			err = c.server.Absorb(id, uploads[i].sd)
+		} else {
+			err = c.server.AbsorbPayload(id, uploads[i].enc)
+		}
+		if err != nil {
 			return fmt.Errorf("fedzkt: upload device %d: %w", id, err)
 		}
 	}
 	return nil
 }
 
-// applyDownloads installs server-published parameters into their devices
-// (ids[i] receives states[i]).
-func (c *Coordinator) applyDownloads(ids []int, states []nn.StateDict) error {
-	for i, id := range ids {
-		if err := c.devices[id].Download(states[i]); err != nil {
+// applyDownloads installs a published download batch into its devices.
+func (c *Coordinator) applyDownloads(db downloadBatch) error {
+	for i, id := range db.ids {
+		if err := c.applyDownload(id, db.states[i]); err != nil {
 			return err
 		}
 	}

@@ -159,6 +159,77 @@ func TestSchedulerDeterminismGoldenSampledTeachers(t *testing.T) {
 	}
 }
 
+// TestStateCodecDeterminismGolden extends the golden scheme to the
+// quantised state codecs: with int8 or float16 replica slots and wire
+// payloads, the fingerprint must still be byte-identical between the
+// sequential reference scheduler and the parallel pool at every worker
+// count — quantisation points are a pure function of the data flow, never
+// of scheduling. The quantised fingerprints must also differ from the
+// dense run's: the codec width changes the byte accounting by
+// construction (and the quantised grid perturbs training).
+func TestStateCodecDeterminismGolden(t *testing.T) {
+	denseRef := goldenRun(t, func(c *Config) { c.Sequential = true })
+	codecs := []string{"int8", "float16"}
+	if testing.Short() {
+		// int8 exercises every quantised code path float16 does; one
+		// codec keeps the -short (and -race -short) budget.
+		codecs = codecs[:1]
+	}
+	for _, name := range codecs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mutate := func(c *Config) { c.StateCodec = name }
+			ref := goldenRun(t, func(c *Config) { mutate(c); c.Sequential = true })
+			if ref == "" {
+				t.Fatal("empty reference fingerprint")
+			}
+			if ref == denseRef {
+				t.Fatal("quantised run unexpectedly identical to the dense pipeline")
+			}
+			workerCounts := []int{1, 2, 4, 8}
+			if testing.Short() {
+				workerCounts = []int{4}
+			}
+			for _, w := range workerCounts {
+				got := goldenRun(t, func(c *Config) { mutate(c); c.Workers = w })
+				if got != ref {
+					t.Fatalf("codec=%s workers=%d fingerprint diverges from sequential reference:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+						name, w, ref, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFloat64CodecMatchesDefault pins that naming the identity codec
+// explicitly is a no-op: StateCodec "float64" reproduces the default
+// configuration bit for bit, payload plumbing and all — which also keeps
+// it on the recorded pre-cohort golden fingerprint.
+func TestFloat64CodecMatchesDefault(t *testing.T) {
+	def := goldenRun(t, func(c *Config) { c.Sequential = true })
+	f64 := goldenRun(t, func(c *Config) { c.Sequential = true; c.StateCodec = "float64" })
+	if f64 != def {
+		t.Fatalf("explicit float64 codec diverged from the default:\n--- default ---\n%s--- float64 ---\n%s", def, f64)
+	}
+}
+
+// TestStateCodecDeterminismPipelined runs the quantised codec on the
+// staged pipelined engine: staleness and quantisation must compose
+// deterministically across worker counts.
+func TestStateCodecDeterminismPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the synchronous codec golden; skipped in -short")
+	}
+	mutate := func(c *Config) { c.StateCodec = "int8"; c.PipelineDepth = 1 }
+	ref := goldenRun(t, func(c *Config) { mutate(c); c.Sequential = true })
+	for _, w := range []int{1, 4} {
+		got := goldenRun(t, func(c *Config) { mutate(c); c.Workers = w })
+		if got != ref {
+			t.Fatalf("pipelined int8 workers=%d diverges from sequential reference:\n--- sequential ---\n%s--- workers=%d ---\n%s", w, ref, w, got)
+		}
+	}
+}
+
 // TestPipelinedDeterminismGolden extends the golden scheme to the staged
 // pipelined engine: for a fixed PipelineDepth the fingerprint must be
 // byte-identical between the sequential reference scheduler and the

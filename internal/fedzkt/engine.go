@@ -16,8 +16,9 @@ package fedzkt
 // sit in it until the server stage has finished distilling round r, so
 // they can never race the round-r teacher ensemble. Snapshot isolation
 // between the stages follows from the existing data flow — devices train
-// on their own modules, the server mutates cohort state-dict slots, and
-// both uploads and downloads are deep copies handed across a channel.
+// on their own modules, the server mutates cohort replica slots, and both
+// uploads and downloads are independent copies (encoded payloads, or
+// dense clones on the identity fast path) handed across a channel.
 //
 // Bounded staleness: round r's local phase trains on the parameters
 // published after round r−1−depth, enforced by waiting for exactly that
@@ -38,26 +39,27 @@ import (
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/fed"
-	"github.com/fedzkt/fedzkt/internal/nn"
 )
 
 // uploadBatch is one round's staged hand-off from the local stage to the
 // server stage: the partially filled round metrics plus the completed
-// devices' uploaded states (deep copies, ascending id).
+// devices' uploaded states in wire form (ascending id).
 type uploadBatch struct {
 	round     int
 	start     time.Time // when the round's local phase began
 	m         fed.RoundMetrics
 	completed []int
-	uploads   []nn.StateDict
+	uploads   []statePayload
 }
 
-// downloadBatch is one round's published downloads: a deep copy of each
-// completing device's replica state after the round's transfer-back.
+// downloadBatch is one round's published downloads: each completing
+// device's replica slot after the round's transfer-back, in wire form
+// (see statePayload — an independent copy either way, so later absorbs
+// cannot race a batch sitting in the channel).
 type downloadBatch struct {
 	round  int
 	ids    []int
-	states []nn.StateDict
+	states []statePayload
 }
 
 // runPipelined executes the staged round engine with cfg.PipelineDepth
@@ -121,14 +123,14 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 
 			db := downloadBatch{round: ub.round, ids: ub.completed}
 			for _, id := range ub.completed {
-				sd, err := c.server.ReplicaState(id)
+				p, numel, err := c.publishDownload(id)
 				if err != nil {
 					serverErr = err
 					cancel()
 					return
 				}
-				db.states = append(db.states, sd)
-				m.BytesDown += fed.WireBytes(sd.Numel())
+				db.states = append(db.states, p)
+				m.BytesDown += fed.WireBytes(numel, c.codec.Width())
 			}
 			if ub.round%cfg.EvalEvery == 0 || ub.round == cfg.Rounds {
 				m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
@@ -167,7 +169,7 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 				pipeBroken = true
 				break
 			}
-			if err := c.applyDownloads(db.ids, db.states); err != nil {
+			if err := c.applyDownloads(db); err != nil {
 				localErr = err
 				pipeBroken = true
 				break
@@ -212,7 +214,7 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 	// server stage's sends never block against an exited peer.
 	for db := range downloads {
 		if localErr == nil {
-			if err := c.applyDownloads(db.ids, db.states); err != nil {
+			if err := c.applyDownloads(db); err != nil {
 				localErr = err
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -34,6 +35,7 @@ type Server struct {
 	cls int
 
 	cohorts *cohortSet
+	codec   codec.Codec
 
 	global      nn.Module
 	gen         *model.Generator
@@ -49,6 +51,10 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validateCohorts(); err != nil {
 		return nil, err
+	}
+	cdc, err := codec.Get(cfg.StateCodec)
+	if err != nil {
+		return nil, fmt.Errorf("fedzkt: %w", err)
 	}
 	global, err := model.Build(cfg.GlobalArch, in, classes, tensor.NewRand(cfg.Seed+7))
 	if err != nil {
@@ -66,7 +72,8 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 		cfg:     cfg,
 		in:      in,
 		cls:     classes,
-		cohorts: newCohortSet(cfg.ServerLR, retain),
+		cohorts: newCohortSet(cfg.ServerLR, retain, cdc),
+		codec:   cdc,
 		global:  global,
 		gen:     model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
 	}
@@ -95,9 +102,19 @@ func (s *Server) NumCohorts() int { return s.cohorts.numCohorts() }
 
 // LiveReplicas returns how many live replica modules the cohort pools
 // currently retain — the server-memory quantity the cohort refactor
-// bounds (per-device parameter data always stays resident in state
-// dicts).
+// bounds (per-device parameter data always stays resident in the slots).
 func (s *Server) LiveReplicas() int { return s.cohorts.liveModules() }
+
+// Codec returns the state codec encoding this server's replica slots,
+// wire payloads and checkpoints.
+func (s *Server) Codec() codec.Codec { return s.codec }
+
+// ResidentStateBytes returns the total resident size of every device's
+// replica slot: codec-container bytes under a quantised codec, dense
+// float64 bytes under the identity codec. This is the per-device memory
+// quantity the quantised codecs shrink up to 8×; live pooled modules are
+// accounted separately via LiveReplicas.
+func (s *Server) ResidentStateBytes() int64 { return s.cohorts.stateBytes() }
 
 // Register adds a device with the given architecture and initial state,
 // returning its assigned id, with a data-size weight of 1. See
@@ -130,32 +147,68 @@ func (s *Server) RegisterSized(arch string, initial nn.StateDict, dataSize int) 
 		// initial values never matter; the RNG only has to be valid.
 		return model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(2000+id)))
 	}
-	return s.cohorts.add(arch, replica, dataSize, build), nil
+	got, err := s.cohorts.add(arch, replica, dataSize, build)
+	if err != nil {
+		return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
+	}
+	return got, nil
 }
 
 // Absorb installs a device's uploaded parameters into its server replica,
-// validating the state-dict keys and tensor sizes against the stored
-// replica so a drifted architecture fails loudly.
+// validating the state-dict keys and tensor sizes against the registered
+// architecture so a drifted peer fails loudly. Under a quantised codec
+// the upload is encoded into the replica slot — absorption is the point
+// where server-resident state becomes compact.
 func (s *Server) Absorb(id int, upload nn.StateDict) error {
 	ref, err := s.cohorts.ref(id)
 	if err != nil {
 		return fmt.Errorf("fedzkt: absorb: %w", err)
 	}
-	if err := ref.member.state.LoadFrom(upload); err != nil {
+	if err := s.cohorts.installDict(ref, upload); err != nil {
 		return fmt.Errorf("fedzkt: absorb device %d: %w", id, err)
 	}
 	return nil
 }
 
-// ReplicaState returns a deep copy of device id's replica parameters (the
-// download payload). The cohort slot already owns the canonical values,
-// so exactly one copy is made.
+// AbsorbPayload installs a device's uploaded codec container into its
+// server replica, with the same strict layout validation as Absorb. The
+// container is self-describing, so payloads survive codec configuration
+// changes between peers; under a quantised codec the validated bytes of
+// a same-codec payload are adopted verbatim — the wire format is the
+// slot format — while a foreign-dtype payload is re-encoded so the slot
+// keeps the configured codec's invariants.
+func (s *Server) AbsorbPayload(id int, payload []byte) error {
+	ref, err := s.cohorts.ref(id)
+	if err != nil {
+		return fmt.Errorf("fedzkt: absorb: %w", err)
+	}
+	if err := s.cohorts.installPayload(ref, payload); err != nil {
+		return fmt.Errorf("fedzkt: absorb device %d: %w", id, err)
+	}
+	return nil
+}
+
+// ReplicaState returns a dense deep copy of device id's replica
+// parameters. Under a quantised codec this decodes the slot, so the
+// caller sees exactly the values a download would deliver.
 func (s *Server) ReplicaState(id int) (nn.StateDict, error) {
 	ref, err := s.cohorts.ref(id)
 	if err != nil {
 		return nil, err
 	}
-	return ref.member.state.Clone(), nil
+	return s.cohorts.stateOf(ref)
+}
+
+// ReplicaPayload returns device id's replica slot in wire form — the
+// codec container a download carries — plus its element count for
+// traffic accounting. Quantised slots already hold the container and
+// only pay a byte copy.
+func (s *Server) ReplicaPayload(id int) ([]byte, int, error) {
+	ref, err := s.cohorts.ref(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.cohorts.payloadOf(ref)
 }
 
 // DeviceArch returns the architecture device id registered with.

@@ -22,6 +22,11 @@ type wireState struct {
 }
 
 // EncodeState serializes a state dict to bytes (gob, deterministic order).
+//
+// This is the legacy dense wire form; the runtime's wire payloads,
+// replica slots and checkpoints use the internal/codec container format
+// instead, which is versioned, self-describing and supports quantised
+// element encodings.
 func EncodeState(sd StateDict) ([]byte, error) {
 	names := sd.Names()
 	ws := wireState{Names: names, Tensors: make([]wireTensor, len(names))}

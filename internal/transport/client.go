@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -84,8 +85,15 @@ func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset,
 	}
 	dev := fed.NewDevice(welcome.DeviceID, cfg.Arch, m, data.NewSubset(ds, asn.Indices))
 
+	// The server dictates the federation's state codec; every state the
+	// device puts on the wire is encoded with it.
+	cdc, err := codec.Get(asn.StateCodec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("transport: server assigned %w", err)
+	}
+
 	// 3. Send the initial state for replica registration.
-	initPayload, err := nn.EncodeState(nn.CaptureState(m))
+	initPayload, _, err := dev.UploadPayload(cdc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,7 +123,7 @@ func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset,
 			if cfg.Progress != nil {
 				cfg.Progress(msg.Round, loss)
 			}
-			payload, err := nn.EncodeState(dev.Upload())
+			payload, _, err := dev.UploadPayload(cdc)
 			if err != nil {
 				return m, ds, err
 			}
@@ -124,11 +132,7 @@ func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset,
 				return m, ds, err
 			}
 		case MsgDownload:
-			sd, err := nn.DecodeState(msg.Payload)
-			if err != nil {
-				return m, ds, err
-			}
-			if err := dev.Download(sd); err != nil {
+			if err := dev.DownloadPayload(msg.Payload); err != nil {
 				return m, ds, err
 			}
 		case MsgDone:

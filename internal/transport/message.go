@@ -77,8 +77,10 @@ type Message struct {
 	Arch     string
 	// Reason carries the error description for MsgError.
 	Reason string
-	// Payload carries an encoded state dict (MsgInitState, MsgUpload,
-	// MsgDownload) or an encoded Assignment (MsgWelcome).
+	// Payload carries a state payload in the codec container format
+	// (MsgInitState, MsgUpload, MsgDownload) or an encoded Assignment
+	// (MsgWelcome). State containers are self-describing, so the receiver
+	// never needs out-of-band dtype knowledge.
 	Payload []byte
 }
 
@@ -95,6 +97,11 @@ type Assignment struct {
 	// ModelSeed seeds the device's model initialisation so server replica
 	// and device start identically.
 	ModelSeed uint64
+	// StateCodec names the state codec the federation runs with; the
+	// device encodes its uploads with it so the traffic savings are real
+	// on the uplink too. Downloads are self-describing containers either
+	// way. An empty value selects the dense "float64" identity codec.
+	StateCodec string
 }
 
 // EncodeAssignment serialises an Assignment for MsgWelcome.

@@ -7,11 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/model"
-	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/partition"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
@@ -143,17 +143,16 @@ func (s *Server) Run(ctx context.Context) (fed.History, error) {
 				return hist, err
 			}
 		}
-		// Collect uploads.
+		// Collect uploads: codec containers absorbed straight into the
+		// replica slots (under a quantised codec the validated bytes are
+		// adopted verbatim). Real network traffic is accounted by measured
+		// payload length, container overhead included.
 		for _, id := range active {
 			up, err := s.recv(id, MsgUpload)
 			if err != nil {
 				return hist, fmt.Errorf("transport: upload from device %d: %w", id, err)
 			}
-			sd, err := nn.DecodeState(up.Payload)
-			if err != nil {
-				return hist, err
-			}
-			if err := s.core.Absorb(id, sd); err != nil {
+			if err := s.core.AbsorbPayload(id, up.Payload); err != nil {
 				return hist, err
 			}
 			m.BytesUp += int64(len(up.Payload))
@@ -166,13 +165,10 @@ func (s *Server) Run(ctx context.Context) (fed.History, error) {
 		}
 		m.InputGradNorm = gn
 
-		// Ship the distilled parameters back to the active devices.
+		// Ship the distilled parameters back to the active devices, in the
+		// codec's wire form (quantised slots are already the payload).
 		for _, id := range active {
-			sd, err := s.core.ReplicaState(id)
-			if err != nil {
-				return hist, err
-			}
-			payload, err := nn.EncodeState(sd)
+			payload, _, err := s.core.ReplicaPayload(id)
 			if err != nil {
 				return hist, err
 			}
@@ -218,8 +214,9 @@ func (s *Server) register(conn net.Conn, id int, shard []int) error {
 			WeightDecay: fedCfg.WeightDecay,
 			ProxMu:      fedCfg.ProxMu,
 		},
-		Rounds:    fedCfg.Rounds,
-		ModelSeed: fedCfg.Seed + uint64(1000+id),
+		Rounds:     fedCfg.Rounds,
+		ModelSeed:  fedCfg.Seed + uint64(1000+id),
+		StateCodec: s.core.Codec().Name(),
 	})
 	if err != nil {
 		return err
@@ -231,7 +228,7 @@ func (s *Server) register(conn net.Conn, id int, shard []int) error {
 	if err != nil {
 		return fmt.Errorf("transport: init state of device %d: %w", id, err)
 	}
-	sd, err := nn.DecodeState(init.Payload)
+	sd, err := codec.Decode(init.Payload)
 	if err != nil {
 		return err
 	}

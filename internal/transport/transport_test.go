@@ -85,6 +85,7 @@ func TestAssignmentRoundTrip(t *testing.T) {
 		Local:       fed.LocalConfig{Epochs: 2, BatchSize: 8, LR: 0.05},
 		Rounds:      7,
 		ModelSeed:   1042,
+		StateCodec:  "int8",
 	}
 	b, err := EncodeAssignment(in)
 	if err != nil {
@@ -96,6 +97,9 @@ func TestAssignmentRoundTrip(t *testing.T) {
 	}
 	if out.DatasetName != in.DatasetName || out.Rounds != 7 || len(out.Indices) != 5 || out.Local.LR != 0.05 {
 		t.Fatalf("assignment mismatch: %+v", out)
+	}
+	if out.StateCodec != "int8" {
+		t.Fatalf("assignment StateCodec %q, want int8", out.StateCodec)
 	}
 }
 
@@ -137,8 +141,18 @@ func TestStateDictOverWireBitExact(t *testing.T) {
 
 // TestEndToEndLoopback runs a real TCP federation on 127.0.0.1 with two
 // heterogeneous devices and verifies the round loop completes with sane
-// metrics.
+// metrics, under the default dense codec and under int8 quantised state.
 func TestEndToEndLoopback(t *testing.T) {
+	dense := endToEndLoopback(t, "")
+	quant := endToEndLoopback(t, "int8")
+	// The quantised uplink carries ~1 byte per element instead of 8; even
+	// with container overhead the measured traffic must shrink >4×.
+	if quant[0].BytesUp*4 > dense[0].BytesUp {
+		t.Fatalf("int8 uplink %d bytes vs float64 %d: expected >4× reduction", quant[0].BytesUp, dense[0].BytesUp)
+	}
+}
+
+func endToEndLoopback(t *testing.T, stateCodec string) fed.History {
 	srv, err := NewServer(ServerConfig{
 		Addr:        "127.0.0.1:0",
 		NumDevices:  2,
@@ -148,6 +162,7 @@ func TestEndToEndLoopback(t *testing.T) {
 			Rounds: 2, LocalEpochs: 1, DistillIters: 4, StudentSteps: 1,
 			DistillBatch: 8, BatchSize: 8, ZDim: 8,
 			DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9, Seed: 5,
+			StateCodec: stateCodec,
 		},
 		IOTimeout: time.Minute,
 	})
@@ -191,6 +206,7 @@ func TestEndToEndLoopback(t *testing.T) {
 			t.Fatalf("round %d: global acc %v", m.Round, m.GlobalAcc)
 		}
 	}
+	return hist
 }
 
 // TestServerCancelledDuringAccept verifies ctx cancellation unblocks the
