@@ -20,6 +20,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/experiments"
+	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
 	"github.com/fedzkt/fedzkt/internal/tensor"
@@ -329,6 +330,39 @@ func BenchmarkCodecEncodeDecode(b *testing.B) {
 		})
 	}
 }
+
+// --- Device local-step benchmarks ---
+
+// benchLocalStep runs one device's full LocalUpdate (1 epoch over an
+// 80-sample shard, batch 16 → 5 optimiser steps) with or without a
+// step-scoped arena. The arena arm is the hot path every scheduler worker
+// runs; its allocs/op is the allocation-free-compute acceptance metric
+// (≥10× below the no-arena arm) and is pinned by TestLocalStepAllocs.
+func benchLocalStep(b *testing.B, arena bool) {
+	b.Helper()
+	ds := data.SynthMNIST(fedzkt.Sizes{TrainPerClass: 8, TestPerClass: 2}, 7)
+	idx := make([]int, ds.NumTrain())
+	for i := range idx {
+		idx[i] = i
+	}
+	m := model.MustBuild("lenet-s", model.Shape{C: ds.C, H: ds.H, W: ds.W}, ds.Classes, tensor.NewRand(3))
+	dev := fed.NewDevice(0, "lenet-s", m, data.NewSubset(ds, idx))
+	if arena {
+		dev.Scratch = ag.NewArena()
+	}
+	cfg := fed.LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.01}
+	rng := tensor.NewRand(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.LocalUpdate(cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalStepArena(b *testing.B)   { benchLocalStep(b, true) }
+func BenchmarkLocalStepNoArena(b *testing.B) { benchLocalStep(b, false) }
 
 // --- Substrate micro-benchmarks ---
 

@@ -30,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/fedzkt/fedzkt"
@@ -53,8 +55,38 @@ func main() {
 		cohortReplicas  = flag.Int("cohort-replicas", 0, "live replica modules retained per architecture cohort (0 = automatic)")
 		pipelineDepth   = flag.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine: the server distills round r while round r+1 trains on-device (0 = synchronous barrier)")
 		stateCodec      = flag.String("state-codec", "", "state codec for replica slots and wire payloads: float64 (dense, default), float16 (2 B/elem), int8 (1 B/elem, per-tensor affine)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	// Registered first so it unwinds last: the CPU profile stops before
+	// the exit GC and allocation snapshot.
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	fmt.Printf("simulating %d devices on %d CPU(s), sampling %d clients/round\n",
 		*devices, runtime.GOMAXPROCS(0), *sampleK)
@@ -90,12 +122,16 @@ func main() {
 	fmt.Printf("federation built (%d devices in %d architecture cohorts) in %s\n",
 		*devices, srv.NumCohorts(), time.Since(build).Round(time.Millisecond))
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	hist, err := co.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	fmt.Printf("\nround | sampled | completed | dropped | injected | local time | server time | round time\n")
 	for _, m := range hist {
@@ -121,6 +157,11 @@ func main() {
 		srv.Codec().Name(), srv.ResidentStateBytes(), srv.ResidentStateBytes()/int64(*devices))
 	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f\n",
 		hist.FinalGlobalAcc(), hist.FinalMeanDeviceAcc())
+	allocMB := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / (1 << 20)
+	gcPause := time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs) //nolint:gosec // monotonic counters
+	fmt.Printf("alloc: %.1f MB heap-allocated during the run, %d GCs, %s total GC pause (%.2f%% of wall)\n",
+		allocMB, msAfter.NumGC-msBefore.NumGC, gcPause.Round(time.Microsecond),
+		100*float64(gcPause)/float64(elapsed))
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",
 		*devices, *rounds, elapsed.Round(time.Millisecond))
 }

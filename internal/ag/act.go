@@ -7,20 +7,63 @@ import (
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
-// ReLU returns max(x, 0) elementwise.
-func ReLU(x *Variable) *Variable {
-	out := tensor.Apply(x.value, func(v float64) float64 {
-		if v > 0 {
-			return v
+// Like arith.go, every backward here is a shared static function reading
+// its state from the node (the forward output is v.value, the input is
+// v.parents[0].value), so recording a node allocates nothing.
+
+func reluBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	xd, gd, dd := x.value.Data(), g.Data(), sink.Data()
+	for i, val := range xd {
+		if val > 0 {
+			dd[i] += gd[i]
 		}
-		return 0
-	})
-	return unaryGated(x, out, func(v float64) bool { return v > 0 })
+	}
+}
+
+// ReLU returns max(x, 0) elementwise. The hottest activation gets
+// dedicated forward/backward loops instead of a generic gated pattern: an
+// indirect per-element call is most of the generic version's cost.
+func ReLU(x *Variable) *Variable {
+	ar := arenaOf(x)
+	out := ar.rawLike(x.value)
+	xd, od := x.value.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
+		}
+	}
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, reluBack, x)
+}
+
+func relu6Back(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	xd, gd, dd := x.value.Data(), g.Data(), sink.Data()
+	for i, val := range xd {
+		if val > 0 && val < 6 {
+			dd[i] += gd[i]
+		}
+	}
 }
 
 // ReLU6 returns min(max(x,0),6), the activation used by MobileNetV2.
 func ReLU6(x *Variable) *Variable {
-	out := tensor.Apply(x.value, func(v float64) float64 {
+	ar := arenaOf(x)
+	out := ar.rawLike(x.value)
+	tensor.ApplyInto(out, x.value, func(v float64) float64 {
 		if v <= 0 {
 			return 0
 		}
@@ -29,82 +72,93 @@ func ReLU6(x *Variable) *Variable {
 		}
 		return v
 	})
-	return unaryGated(x, out, func(v float64) bool { return v > 0 && v < 6 })
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, relu6Back, x)
 }
 
-// unaryGated builds a node whose backward passes gradients only where
-// pass(x) is true — the shared pattern of ReLU-family activations.
-func unaryGated(x *Variable, out *tensor.Tensor, pass func(float64) bool) *Variable {
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
+func leakyReLUBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	alpha := v.aux0
+	xd, gd, dd := x.value.Data(), g.Data(), sink.Data()
+	for i, val := range xd {
+		if val > 0 {
+			dd[i] += gd[i]
+		} else {
+			dd[i] += alpha * gd[i]
 		}
-		dx := tensor.New(x.value.Shape()...)
-		xd, gd, dd := x.value.Data(), g.Data(), dx.Data()
-		for i, v := range xd {
-			if pass(v) {
-				dd[i] = gd[i]
-			}
-		}
-		x.accum(dx)
-	}, x)
+	}
 }
 
 // LeakyReLU returns x where x>0 and alpha*x elsewhere.
 func LeakyReLU(x *Variable, alpha float64) *Variable {
-	out := tensor.Apply(x.value, func(v float64) float64 {
+	ar := arenaOf(x)
+	out := ar.rawLike(x.value)
+	xd, od := x.value.Data(), out.Data()
+	for i, v := range xd {
 		if v > 0 {
-			return v
+			od[i] = v
+		} else {
+			od[i] = alpha * v
 		}
-		return alpha * v
-	})
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(x.value.Shape()...)
-		xd, gd, dd := x.value.Data(), g.Data(), dx.Data()
-		for i, v := range xd {
-			if v > 0 {
-				dd[i] = gd[i]
-			} else {
-				dd[i] = alpha * gd[i]
-			}
-		}
-		x.accum(dx)
-	}, x)
+	}
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	n := newNode(ar, out, leakyReLUBack, x)
+	n.aux0 = alpha
+	return n
+}
+
+func tanhBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	od, gd, dd := v.value.Data(), g.Data(), sink.Data()
+	for i, y := range od {
+		dd[i] += gd[i] * (1 - y*y)
+	}
 }
 
 // Tanh returns tanh(x) elementwise.
 func Tanh(x *Variable) *Variable {
-	out := tensor.Apply(x.value, math.Tanh)
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(x.value.Shape()...)
-		od, gd, dd := out.Data(), g.Data(), dx.Data()
-		for i, y := range od {
-			dd[i] = gd[i] * (1 - y*y)
-		}
-		x.accum(dx)
-	}, x)
+	ar := arenaOf(x)
+	out := ar.rawLike(x.value)
+	tensor.ApplyInto(out, x.value, math.Tanh)
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, tanhBack, x)
+}
+
+func sigmoidBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	od, gd, dd := v.value.Data(), g.Data(), sink.Data()
+	for i, y := range od {
+		dd[i] += gd[i] * y * (1 - y)
+	}
 }
 
 // Sigmoid returns 1/(1+e^-x) elementwise.
 func Sigmoid(x *Variable) *Variable {
-	out := tensor.Apply(x.value, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(x.value.Shape()...)
-		od, gd, dd := out.Data(), g.Data(), dx.Data()
-		for i, y := range od {
-			dd[i] = gd[i] * y * (1 - y)
-		}
-		x.accum(dx)
-	}, x)
+	ar := arenaOf(x)
+	out := ar.rawLike(x.value)
+	tensor.ApplyInto(out, x.value, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, sigmoidBack, x)
 }
 
 func check2d(x *Variable, what string) (n, d int) {
@@ -114,38 +168,68 @@ func check2d(x *Variable, what string) (n, d int) {
 	return x.value.Dim(0), x.value.Dim(1)
 }
 
+func softmaxBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, d := v.value.Dim(0), v.value.Dim(1)
+	od, gd, dd := v.value.Data(), g.Data(), sink.Data()
+	for r := 0; r < n; r++ {
+		orow := od[r*d : (r+1)*d]
+		grow := gd[r*d : (r+1)*d]
+		drow := dd[r*d : (r+1)*d]
+		dot := 0.0
+		for c, y := range orow {
+			dot += y * grow[c]
+		}
+		for c, y := range orow {
+			drow[c] += y * (grow[c] - dot)
+		}
+	}
+}
+
 // Softmax applies the softmax function to each row of a (N×D) Variable.
 func Softmax(x *Variable) *Variable {
 	n, d := check2d(x, "Softmax")
-	out := tensor.New(n, d)
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, d)
 	softmaxRowsInto(out.Data(), x.value.Data(), n, d)
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, softmaxBack, x)
+}
+
+func logSoftmaxBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, d := v.value.Dim(0), v.value.Dim(1)
+	od, gd, dd := v.value.Data(), g.Data(), sink.Data()
+	for r := 0; r < n; r++ {
+		orow := od[r*d : (r+1)*d]
+		grow := gd[r*d : (r+1)*d]
+		drow := dd[r*d : (r+1)*d]
+		gsum := 0.0
+		for _, gv := range grow {
+			gsum += gv
 		}
-		dx := tensor.New(n, d)
-		od, gd, dd := out.Data(), g.Data(), dx.Data()
-		for r := 0; r < n; r++ {
-			orow := od[r*d : (r+1)*d]
-			grow := gd[r*d : (r+1)*d]
-			drow := dd[r*d : (r+1)*d]
-			dot := 0.0
-			for c, y := range orow {
-				dot += y * grow[c]
-			}
-			for c, y := range orow {
-				drow[c] = y * (grow[c] - dot)
-			}
+		for c, lp := range orow {
+			drow[c] += grow[c] - math.Exp(lp)*gsum
 		}
-		x.accum(dx)
-	}, x)
+	}
 }
 
 // LogSoftmax applies log∘softmax to each row of a (N×D) Variable using the
 // numerically stable shifted formulation.
 func LogSoftmax(x *Variable) *Variable {
 	n, d := check2d(x, "LogSoftmax")
-	out := tensor.New(n, d)
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, d)
 	xd, od := x.value.Data(), out.Data()
 	for r := 0; r < n; r++ {
 		row := xd[r*d : (r+1)*d]
@@ -165,26 +249,10 @@ func LogSoftmax(x *Variable) *Variable {
 			orow[c] = v - lse
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(n, d)
-		od, gd, dd := out.Data(), g.Data(), dx.Data()
-		for r := 0; r < n; r++ {
-			orow := od[r*d : (r+1)*d]
-			grow := gd[r*d : (r+1)*d]
-			drow := dd[r*d : (r+1)*d]
-			gsum := 0.0
-			for _, gv := range grow {
-				gsum += gv
-			}
-			for c, lp := range orow {
-				drow[c] = grow[c] - math.Exp(lp)*gsum
-			}
-		}
-		x.accum(dx)
-	}, x)
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, logSoftmaxBack, x)
 }
 
 // softmaxRowsInto writes softmax of each row of src (n rows of d) into dst.
@@ -213,11 +281,17 @@ func softmaxRowsInto(dst, src []float64, n, d int) {
 
 // SoftmaxRows is the no-tape convenience used at evaluation time.
 func SoftmaxRows(t *tensor.Tensor) *tensor.Tensor {
+	return SoftmaxRowsIn(nil, t)
+}
+
+// SoftmaxRowsIn is SoftmaxRows allocating its output from the given arena
+// (nil falls back to the heap).
+func SoftmaxRowsIn(a *Arena, t *tensor.Tensor) *tensor.Tensor {
 	if t.Dims() != 2 {
 		panic(fmt.Sprintf("ag: SoftmaxRows wants (N×D), got %v", t.Shape()))
 	}
 	n, d := t.Dim(0), t.Dim(1)
-	out := tensor.New(n, d)
+	out := a.tensorRaw(n, d)
 	softmaxRowsInto(out.Data(), t.Data(), n, d)
 	return out
 }

@@ -15,6 +15,21 @@
 // (RequiresGrad=false), such as teacher models during server-side
 // distillation, are skipped during accumulation, while gradients still flow
 // through them to upstream inputs.
+//
+// Arenas: every op allocates its forward value, backward scratch and
+// interior gradient buffers through the Arena of its operands (the first
+// operand carrying one wins; leaves created by NewVar/Param/Const carry
+// none). Wrapping a step's input with ConstIn(arena, x) therefore threads
+// the arena through the whole tape with no other call-site changes, and
+// one Arena.Reset after the optimiser step recycles every step-scoped
+// buffer AND tape node. Leaf gradients (parameters) are deliberately heap
+// allocated once and reused across steps, so optimisers can keep reading
+// them after Reset.
+//
+// Concurrency: a tape — and therefore an Arena — belongs to one goroutine.
+// Two goroutines must never run Backward over graphs sharing a
+// RequiresGrad Variable (that has always raced on gradient accumulation);
+// sharing read-only constants (Const, no arena) is safe.
 package ag
 
 import (
@@ -23,16 +38,225 @@ import (
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
+// maxParents is the largest operand count of any op (Conv2d: x, w, bias).
+const maxParents = 3
+
 // Variable is a node in the autodiff tape: a tensor value plus an optional
 // gradient and backward closure.
 type Variable struct {
-	value        *tensor.Tensor
-	grad         *tensor.Tensor
-	requiresGrad bool
-	parents      []*Variable
+	value *tensor.Tensor
+	grad  *tensor.Tensor
 	// back propagates the node's accumulated output gradient to the
 	// parents. nil for leaves and for nodes created in no-grad contexts.
-	back func(g *tensor.Tensor)
+	// Simple ops install a shared static function that reads everything
+	// it needs from the node (parents, value, aux fields), so recording
+	// them allocates nothing; only ops with genuinely op-specific state
+	// (convolution lowerings, batch-norm statistics) pay for a closure.
+	back         func(v *Variable, g *tensor.Tensor)
+	ar           *Arena
+	parents      [maxParents]*Variable
+	nparents     uint8
+	requiresGrad bool
+	// vis is Backward's visited mark (replacing a per-call map). It is
+	// only ever set on RequiresGrad nodes of the tape being walked, so
+	// shared constants stay untouched and concurrent tapes cannot race.
+	vis bool
+	// aux0/aux1/auxI/auxT carry small per-op backward state for the
+	// static backward functions (a scale factor, pooling argmaxes, NLL
+	// labels, a clamped forward copy), in place of closure captures.
+	aux0, aux1 float64
+	auxI       []int
+	auxT       *tensor.Tensor
+}
+
+// Arena is the step-scoped allocator of the autodiff engine: tensor
+// buffers come from an embedded tensor.Arena and tape nodes from a
+// recycled slab, so a warmed-up training step allocates (almost) nothing.
+// Reset recycles everything handed out since the previous Reset; see the
+// package comment for the lifetime and concurrency contract. The nil
+// *Arena is valid and falls back to heap allocation everywhere.
+type Arena struct {
+	// T is the tensor-buffer arena, shared with non-autodiff consumers
+	// (batch gathering, noise sampling) so the whole step draws from one
+	// pool.
+	T *tensor.Arena
+
+	chunks [][]Variable
+	chunk  int // index of the chunk currently allocating
+	used   int // nodes handed out from that chunk
+
+	// Reusable Backward scratch.
+	order []*Variable
+	stack []frame
+
+	// colCache memoises im2col column matrices by (input tensor, conv
+	// geometry) within one step. Ensemble phases forward many models over
+	// one shared batch, whose first-layer lowering is a pure function of
+	// the input — one build instead of one per model. Arena buffers live
+	// until Reset regardless, so the cache costs no extra memory; it is
+	// cleared (entries dropped, map retained) on Reset, before any buffer
+	// can be recycled.
+	colCache map[convColKey]*tensor.Tensor
+}
+
+// convColKey identifies one conv lowering: the input tensor (by identity)
+// and the geometry that shapes the column matrix. Identity keying is safe
+// because a tensor's buffer is only recycled by its own arena's Reset,
+// and every Reset clears this cache first. When the keyed tensor belongs
+// to a DIFFERENT arena than the memoising one (the transfer-back phase
+// memoises the shared phase-arena batch inside worker arenas), the caller
+// must reset the memoising arena no later than the arena owning the key —
+// server.go resets each worker arena per replica step, strictly before
+// the phase arena's per-iteration reset — otherwise a recycled tensor at
+// the same address could alias a stale entry.
+type convColKey struct {
+	x                            *tensor.Tensor
+	c, h, w, kh, kw, stride, pad int
+}
+
+// cachedCol returns the memoised column matrix for key, or nil.
+func (a *Arena) cachedCol(key convColKey) *tensor.Tensor {
+	if a == nil {
+		return nil
+	}
+	return a.colCache[key]
+}
+
+// storeCol memoises a built column matrix for the rest of the step.
+func (a *Arena) storeCol(key convColKey, col *tensor.Tensor) {
+	if a == nil {
+		return
+	}
+	if a.colCache == nil {
+		a.colCache = make(map[convColKey]*tensor.Tensor)
+	}
+	a.colCache[key] = col
+}
+
+const arenaChunk = 256
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{T: tensor.NewArena()}
+}
+
+// Tensors returns the embedded tensor arena (nil for a nil Arena), for
+// consumers that gather batches or sample noise outside the tape but
+// inside the step.
+func (a *Arena) Tensors() *tensor.Arena {
+	if a == nil {
+		return nil
+	}
+	return a.T
+}
+
+// Reset recycles every tensor buffer and tape node handed out since the
+// previous Reset. All Variables and tensors obtained through the arena
+// become invalid.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.T.Reset()
+	a.chunk, a.used = 0, 0
+	clear(a.colCache)
+}
+
+// variable returns a cleared node from the slab (or the heap for a nil
+// arena).
+func (a *Arena) variable() *Variable {
+	if a == nil {
+		return &Variable{}
+	}
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Variable, arenaChunk))
+	}
+	c := a.chunks[a.chunk]
+	v := &c[a.used]
+	*v = Variable{}
+	a.used++
+	if a.used == len(c) {
+		a.chunk++
+		a.used = 0
+	}
+	return v
+}
+
+// tensorZ allocates a zero-filled tensor from the arena (or heap).
+func (a *Arena) tensorZ(shape ...int) *tensor.Tensor {
+	if a == nil {
+		return tensor.New(shape...)
+	}
+	return a.T.New(shape...)
+}
+
+// tensorRaw allocates a tensor whose contents will be fully overwritten.
+func (a *Arena) tensorRaw(shape ...int) *tensor.Tensor {
+	if a == nil {
+		return tensor.New(shape...)
+	}
+	return a.T.NewRaw(shape...)
+}
+
+// rawLike allocates a tensor shaped like t with unspecified contents.
+func (a *Arena) rawLike(t *tensor.Tensor) *tensor.Tensor {
+	if a == nil {
+		return tensor.New(t.Shape()...)
+	}
+	return a.T.NewRawLike(t)
+}
+
+// zeroLike allocates a zero-filled tensor shaped like t.
+func (a *Arena) zeroLike(t *tensor.Tensor) *tensor.Tensor {
+	if a == nil {
+		return tensor.New(t.Shape()...)
+	}
+	return a.T.NewLike(t)
+}
+
+// view returns a reshaped view of t sharing storage.
+func (a *Arena) view(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if a == nil {
+		return t.Reshape(shape...)
+	}
+	return a.T.View(t, shape...)
+}
+
+// floats returns zeroed []float64 scratch.
+func (a *Arena) floats(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.T.Floats(n)
+}
+
+// floatsRaw returns []float64 scratch with unspecified contents.
+func (a *Arena) floatsRaw(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.T.FloatsRaw(n)
+}
+
+// intsRaw returns []int scratch with unspecified contents.
+func (a *Arena) intsRaw(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	return a.T.Ints(n)
+}
+
+// arenaOf returns the arena threaded through the operands: the first
+// operand carrying one. Ops allocate their outputs and scratch from it,
+// which is how wrapping a step's input in ConstIn propagates the arena
+// through the whole tape.
+func arenaOf(vs ...*Variable) *Arena {
+	for _, v := range vs {
+		if v != nil && v.ar != nil {
+			return v.ar
+		}
+	}
+	return nil
 }
 
 // NewVar wraps t in a Variable. If requiresGrad is true, gradients will be
@@ -44,8 +268,25 @@ func NewVar(t *tensor.Tensor, requiresGrad bool) *Variable {
 // Param wraps t as a trainable leaf (RequiresGrad=true).
 func Param(t *tensor.Tensor) *Variable { return NewVar(t, true) }
 
-// Const wraps t as a constant leaf (RequiresGrad=false).
+// Const wraps t as a constant leaf (RequiresGrad=false). Constants carry
+// no arena, so a Const value may be shared across concurrent tapes.
 func Const(t *tensor.Tensor) *Variable { return NewVar(t, false) }
+
+// NewVarIn wraps t in a Variable allocated from — and threading — the
+// given arena: every op downstream of it draws its outputs and scratch
+// from a. The Variable itself obeys the arena lifetime (invalid after
+// Reset).
+func NewVarIn(a *Arena, t *tensor.Tensor, requiresGrad bool) *Variable {
+	v := a.variable()
+	v.value = t
+	v.requiresGrad = requiresGrad
+	v.ar = a
+	return v
+}
+
+// ConstIn is NewVarIn with RequiresGrad=false — the usual way a training
+// step threads its arena: wrap the input batch and run the model forward.
+func ConstIn(a *Arena, t *tensor.Tensor) *Variable { return NewVarIn(a, t, false) }
 
 // Value returns the underlying tensor (shared, not copied).
 func (v *Variable) Value() *tensor.Tensor { return v.value }
@@ -60,7 +301,7 @@ func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
 // teacher models during server-side distillation. It must only be called
 // on leaves (Variables with no recorded parents).
 func (v *Variable) SetRequiresGrad(r bool) {
-	if len(v.parents) != 0 {
+	if v.nparents != 0 {
 		panic("ag: SetRequiresGrad on a non-leaf Variable")
 	}
 	v.requiresGrad = r
@@ -81,20 +322,46 @@ func (v *Variable) Detach() *Variable { return Const(v.value) }
 // Shape returns the shape of the value tensor.
 func (v *Variable) Shape() []int { return v.value.Shape() }
 
-// mustGrad lazily allocates and returns the gradient buffer.
+// mustGrad lazily allocates and returns the gradient buffer. Interior
+// nodes draw it from their arena (it dies with the step); leaves allocate
+// from the heap once and keep the buffer across steps.
 func (v *Variable) mustGrad() *tensor.Tensor {
 	if v.grad == nil {
-		v.grad = tensor.New(v.value.Shape()...)
+		v.grad = v.ar.zeroLike(v.value)
 	}
 	return v.grad
 }
 
 // accum adds g into v's gradient if v participates in differentiation.
+// The first accumulation into a fresh buffer skips the zero fill and
+// writes 0 + g in one pass (bit-identical; see tensor.ZeroAddInto).
 func (v *Variable) accum(g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
 	}
-	tensor.AddInto(v.mustGrad(), g)
+	if v.grad == nil {
+		if v.ar != nil {
+			v.grad = v.ar.T.NewRawLike(v.value)
+			tensor.ZeroAddInto(v.grad, g)
+			return
+		}
+		v.grad = tensor.New(v.value.Shape()...)
+		tensor.ZeroAddInto(v.grad, g)
+		return
+	}
+	tensor.AccumInto(v.grad, g)
+}
+
+// gradSink returns the buffer a backward fusion may accumulate into
+// directly, or nil when v does not participate in differentiation. Only
+// fusions whose per-element contribution is a single addition (formed
+// fully before the +=) may use it — that is what keeps the fused
+// accumulation bit-identical to the historical materialise-then-add path.
+func (v *Variable) gradSink() *tensor.Tensor {
+	if !v.requiresGrad {
+		return nil
+	}
+	return v.mustGrad()
 }
 
 // anyRequires reports whether any of the operands require gradients.
@@ -107,19 +374,39 @@ func anyRequires(vs ...*Variable) bool {
 	return false
 }
 
-// newNode constructs an interior tape node. If no parent requires a
-// gradient the node is a plain constant and records nothing.
-func newNode(val *tensor.Tensor, back func(g *tensor.Tensor), parents ...*Variable) *Variable {
+// newNode constructs an interior tape node in arena a. If no parent
+// requires a gradient the node is a plain constant and records nothing
+// (callers on hot paths check anyRequires themselves first to avoid even
+// building the closure).
+func newNode(a *Arena, val *tensor.Tensor, back func(v *Variable, g *tensor.Tensor), parents ...*Variable) *Variable {
+	v := a.variable()
+	v.value = val
+	v.ar = a
 	if !anyRequires(parents...) {
-		return Const(val)
+		return v
 	}
-	kept := make([]*Variable, 0, len(parents))
+	v.requiresGrad = true
+	v.back = back
 	for _, p := range parents {
-		if p != nil {
-			kept = append(kept, p)
+		if p == nil {
+			continue
 		}
+		if int(v.nparents) == maxParents {
+			panic("ag: too many parents for one tape node")
+		}
+		v.parents[v.nparents] = p
+		v.nparents++
 	}
-	return &Variable{value: val, requiresGrad: true, parents: kept, back: back}
+	return v
+}
+
+// constIn returns a no-grad node holding val in arena a — the result of an
+// op none of whose operands require gradients.
+func constIn(a *Arena, val *tensor.Tensor) *Variable {
+	v := a.variable()
+	v.value = val
+	v.ar = a
+	return v
 }
 
 // Backward runs reverse-mode differentiation from the scalar root,
@@ -132,43 +419,60 @@ func Backward(root *Variable) {
 	if !root.requiresGrad {
 		return // nothing on the tape
 	}
-	order := topoOrder(root)
-	seed := tensor.New(root.value.Shape()...)
+	a := root.ar
+	order := topoOrder(a, root)
+	seed := a.rawLike(root.value)
 	seed.Fill(1)
 	root.accum(seed)
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.back != nil && n.grad != nil {
-			n.back(n.grad)
+			n.back(n, n.grad)
 		}
 	}
+	for _, n := range order {
+		n.vis = false
+	}
+	if a != nil {
+		a.order = order
+	}
+}
+
+// frame is one step of the iterative DFS below.
+type frame struct {
+	node *Variable
+	next uint8
 }
 
 // topoOrder returns the nodes reachable from root that require gradients,
 // in topological order (parents before children). Iterative DFS so deep
-// networks cannot overflow the goroutine stack.
-func topoOrder(root *Variable) []*Variable {
-	type frame struct {
-		node *Variable
-		next int
-	}
+// networks cannot overflow the goroutine stack; the visited set is the vis
+// mark on the nodes themselves (cleared by Backward after the walk), so no
+// map is built, and the order/stack slices are recycled through the arena.
+func topoOrder(a *Arena, root *Variable) []*Variable {
 	var order []*Variable
-	visited := make(map[*Variable]bool)
-	stack := []frame{{node: root}}
-	visited[root] = true
+	var stack []frame
+	if a != nil {
+		order, stack = a.order[:0], a.stack[:0]
+	}
+	stack = append(stack, frame{node: root})
+	root.vis = true
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		if f.next < len(f.node.parents) {
+		if f.next < f.node.nparents {
 			p := f.node.parents[f.next]
 			f.next++
-			if !visited[p] && p.requiresGrad {
-				visited[p] = true
+			if !p.vis && p.requiresGrad {
+				p.vis = true
 				stack = append(stack, frame{node: p})
 			}
 			continue
 		}
 		order = append(order, f.node)
 		stack = stack[:len(stack)-1]
+	}
+	if a != nil {
+		a.stack = stack[:0]
 	}
 	return order
 }

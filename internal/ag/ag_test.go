@@ -22,7 +22,7 @@ func TestNoGradBuildsNoGraph(t *testing.T) {
 	if c.RequiresGrad() {
 		t.Fatal("op over constants must not require grad")
 	}
-	if len(c.parents) != 0 || c.back != nil {
+	if c.nparents != 0 || c.back != nil {
 		t.Fatal("op over constants must not record tape state")
 	}
 }

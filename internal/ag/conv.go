@@ -10,39 +10,35 @@ import (
 // (O,C,kh,kw), bias is (O) and may be nil. The whole batch is lowered into
 // a single (C·kh·kw)×(N·oh·ow) column matrix so that forward and backward
 // are each one large matrix multiplication — the dominant kernel on a
-// single core — instead of N small ones.
+// single core — instead of N small ones. The column matrix, its per-sample
+// staging buffer and every other intermediate come from the tape's arena,
+// so a warmed-up step rebuilds them allocation-free.
 func Conv2d(x, w, bias *Variable, stride, pad int) *Variable {
-	xs, ws := x.value.Shape(), w.value.Shape()
-	if len(xs) != 4 || len(ws) != 4 || xs[1] != ws[1] {
-		panic(fmt.Sprintf("ag: Conv2d shape mismatch: x %v, w %v", xs, ws))
+	if x.value.Dims() != 4 || w.value.Dims() != 4 || x.value.Dim(1) != w.value.Dim(1) {
+		panic(fmt.Sprintf("ag: Conv2d shape mismatch: x %v, w %v", x.Shape(), w.Shape()))
 	}
-	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
-	o, kh, kw := ws[0], ws[2], ws[3]
+	n, c, h, wd := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
+	o, kh, kw := w.value.Dim(0), w.value.Dim(2), w.value.Dim(3)
 	oh := tensor.ConvOutSize(h, kh, stride, pad)
 	ow := tensor.ConvOutSize(wd, kw, stride, pad)
 	ckk := c * kh * kw
 	sp := oh * ow
 	nsp := n * sp
 
-	wmat := w.value.Reshape(o, ckk)
+	ar := arenaOf(x, w, bias)
+	wmat := ar.view(w.value, o, ckk)
 	xd := x.value.Data()
 
-	buildCol := func() *tensor.Tensor {
-		col := tensor.New(ckk, nsp)
-		cd := col.Data()
-		buf := make([]float64, ckk*sp)
-		for s := 0; s < n; s++ {
-			tensor.Im2Col(xd[s*c*h*wd:(s+1)*c*h*wd], c, h, wd, kh, kw, stride, pad, buf)
-			for r := 0; r < ckk; r++ {
-				copy(cd[r*nsp+s*sp:r*nsp+(s+1)*sp], buf[r*sp:(r+1)*sp])
-			}
-		}
-		return col
-	}
-
-	col := buildCol()
-	y := tensor.MatMul(wmat, col) // (o × nsp)
-	out := tensor.New(n, o, oh, ow)
+	// The column matrix is a pure function of the input values and the
+	// conv geometry, so it is memoised in the arena for the step:
+	// ensemble phases forwarding many models over one shared batch build
+	// the first layer's lowering once instead of once per model, and the
+	// dW backward reuses the forward's col instead of recomputing it.
+	colKey := convColKey{x: x.value, c: c, h: h, w: wd, kh: kh, kw: kw, stride: stride, pad: pad}
+	col := buildConvCol(ar, colKey, xd, n, sp, nsp, ckk)
+	y := ar.tensorRaw(o, nsp)
+	tensor.MatMulInto(y, wmat, col)
+	out := ar.tensorRaw(n, o, oh, ow)
 	od, yd := out.Data(), y.Data()
 	var bd []float64
 	if bias != nil {
@@ -66,65 +62,88 @@ func Conv2d(x, w, bias *Variable, stride, pad int) *Variable {
 		}
 	}
 
-	return newNode(out, func(g *tensor.Tensor) {
+	if !anyRequires(x, w, bias) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, func(_ *Variable, g *tensor.Tensor) {
 		gd := g.Data()
 		// Gather the output gradient into the (o × nsp) layout.
-		gy := tensor.New(o, nsp)
+		gy := ar.tensorRaw(o, nsp)
 		gyd := gy.Data()
 		for oc := 0; oc < o; oc++ {
 			for s := 0; s < n; s++ {
 				copy(gyd[oc*nsp+s*sp:oc*nsp+(s+1)*sp], gd[(s*o+oc)*sp:(s*o+oc+1)*sp])
 			}
 		}
-		if w.requiresGrad {
-			// dW = gY · colᵀ; the column matrix is recomputed instead of
-			// retained to bound tape memory at large batch sizes.
-			dw := tensor.MatMulTransB(gy, buildCol())
-			w.accum(dw.Reshape(o, c, kh, kw))
+		if sink := w.gradSink(); sink != nil {
+			// dW += gY · colᵀ; the arena memoises the forward's column
+			// matrix, so this is a lookup rather than a rebuild. The
+			// accumulate kernel forms each product sum in registers before
+			// the single add into the gradient buffer.
+			tensor.MatMulTransBAccInto(ar.view(sink, o, ckk), gy, buildConvCol(ar, colKey, xd, n, sp, nsp, ckk))
 		}
-		if x.requiresGrad {
-			// dCol = Wᵀ · gY, scattered back per sample.
-			dcol := tensor.MatMulTransA(wmat, gy)
+		if sink := x.gradSink(); sink != nil {
+			// dCol = Wᵀ · gY, scattered back per sample. Col2Im accumulates
+			// multiple column entries into one image element, so it scatters
+			// into zeroed arena scratch first and accumulates once.
+			dcol := ar.tensorRaw(ckk, nsp)
+			tensor.MatMulTransAInto(dcol, wmat, gy)
 			dcd := dcol.Data()
-			dx := tensor.New(n, c, h, wd)
+			dx := ar.tensorZ(n, c, h, wd)
 			dxd := dx.Data()
-			buf := make([]float64, ckk*sp)
 			for s := 0; s < n; s++ {
-				for r := 0; r < ckk; r++ {
-					copy(buf[r*sp:(r+1)*sp], dcd[r*nsp+s*sp:r*nsp+(s+1)*sp])
-				}
-				tensor.Col2Im(buf, c, h, wd, kh, kw, stride, pad, dxd[s*c*h*wd:(s+1)*c*h*wd])
+				tensor.Col2ImStrided(dcd, c, h, wd, kh, kw, stride, pad, dxd[s*c*h*wd:(s+1)*c*h*wd], nsp, s*sp)
 			}
-			x.accum(dx)
+			tensor.AccumInto(sink, dx)
 		}
-		if bias != nil && bias.requiresGrad {
-			db := tensor.New(o)
-			dbd := db.Data()
-			for oc := 0; oc < o; oc++ {
-				sum := 0.0
-				for _, v := range gyd[oc*nsp : (oc+1)*nsp] {
-					sum += v
+		if bias != nil {
+			if sink := bias.gradSink(); sink != nil {
+				sd := sink.Data()
+				for oc := 0; oc < o; oc++ {
+					sum := 0.0
+					for _, v := range gyd[oc*nsp : (oc+1)*nsp] {
+						sum += v
+					}
+					sd[oc] += sum
 				}
-				dbd[oc] = sum
 			}
-			bias.accum(db)
 		}
 	}, x, w, bias)
+}
+
+// buildConvCol returns the (ckk × nsp) column matrix lowering the batch
+// held in xd under key's geometry, consulting and filling the arena's
+// per-step memo (a plain function rather than a closure, so the hot path
+// allocates nothing).
+func buildConvCol(ar *Arena, key convColKey, xd []float64, n, sp, nsp, ckk int) *tensor.Tensor {
+	if col := ar.cachedCol(key); col != nil {
+		return col
+	}
+	col := ar.tensorRaw(ckk, nsp)
+	cd := col.Data()
+	chw := key.c * key.h * key.w
+	for s := 0; s < n; s++ {
+		// Each sample expands straight into its columns of the shared
+		// matrix — no per-sample staging buffer, no second copy.
+		tensor.Im2ColStrided(xd[s*chw:(s+1)*chw], key.c, key.h, key.w, key.kh, key.kw, key.stride, key.pad, cd, nsp, s*sp)
+	}
+	ar.storeCol(key, col)
+	return col
 }
 
 // DepthwiseConv2d applies one kh×kw filter per input channel (groups ==
 // channels). x is (N,C,H,W), w is (C,kh,kw), bias is (C) and may be nil.
 func DepthwiseConv2d(x, w, bias *Variable, stride, pad int) *Variable {
-	xs, ws := x.value.Shape(), w.value.Shape()
-	if len(xs) != 4 || len(ws) != 3 || xs[1] != ws[0] {
-		panic(fmt.Sprintf("ag: DepthwiseConv2d shape mismatch: x %v, w %v", xs, ws))
+	if x.value.Dims() != 4 || w.value.Dims() != 3 || x.value.Dim(1) != w.value.Dim(0) {
+		panic(fmt.Sprintf("ag: DepthwiseConv2d shape mismatch: x %v, w %v", x.Shape(), w.Shape()))
 	}
-	n, c, h, wd := xs[0], xs[1], xs[2], xs[3]
-	kh, kw := ws[1], ws[2]
+	n, c, h, wd := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
+	kh, kw := w.value.Dim(1), w.value.Dim(2)
 	oh := tensor.ConvOutSize(h, kh, stride, pad)
 	ow := tensor.ConvOutSize(wd, kw, stride, pad)
 
-	out := tensor.New(n, c, oh, ow)
+	ar := arenaOf(x, w, bias)
+	out := ar.tensorRaw(n, c, oh, ow)
 	xd, wdat, od := x.value.Data(), w.value.Data(), out.Data()
 	var bd []float64
 	if bias != nil {
@@ -165,17 +184,24 @@ func DepthwiseConv2d(x, w, bias *Variable, stride, pad int) *Variable {
 		}
 	}
 
-	return newNode(out, func(g *tensor.Tensor) {
+	if !anyRequires(x, w, bias) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, func(_ *Variable, g *tensor.Tensor) {
 		gd := g.Data()
+		// The scatter accumulates many output positions into one input /
+		// kernel element, so it runs over zeroed arena scratch and each
+		// gradient buffer receives one accumulation pass — the historical
+		// contribution order, allocation-free.
 		var dx, dw, db *tensor.Tensor
 		if x.requiresGrad {
-			dx = tensor.New(n, c, h, wd)
+			dx = ar.tensorZ(n, c, h, wd)
 		}
 		if w.requiresGrad {
-			dw = tensor.New(c, kh, kw)
+			dw = ar.tensorZ(c, kh, kw)
 		}
 		if bias != nil && bias.requiresGrad {
-			db = tensor.New(c)
+			db = ar.tensorZ(c)
 		}
 		for s := 0; s < n; s++ {
 			for ch := 0; ch < c; ch++ {

@@ -6,19 +6,34 @@ import (
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
+func matMulBack(v *Variable, g *tensor.Tensor) {
+	a, b := v.parents[0], v.parents[1]
+	if sink := a.gradSink(); sink != nil {
+		// dA += g · Bᵀ
+		tensor.MatMulTransBAccInto(sink, g, b.value)
+	}
+	if sink := b.gradSink(); sink != nil {
+		// dB += Aᵀ · g
+		tensor.MatMulTransAAccInto(sink, a.value, g)
+	}
+}
+
 // MatMul returns the matrix product a·b for 2-D Variables.
 func MatMul(a, b *Variable) *Variable {
-	out := tensor.MatMul(a.value, b.value)
-	return newNode(out, func(g *tensor.Tensor) {
-		if a.requiresGrad {
-			// dA = g · Bᵀ
-			a.accum(tensor.MatMulTransB(g, b.value))
-		}
-		if b.requiresGrad {
-			// dB = Aᵀ · g
-			b.accum(tensor.MatMulTransA(a.value, g))
-		}
-	}, a, b)
+	ar := arenaOf(a, b)
+	out := ar.tensorRaw(a.value.Dim(0), b.value.Dim(1))
+	tensor.MatMulInto(out, a.value, b.value)
+	if !anyRequires(a, b) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, matMulBack, a, b)
+}
+
+func addBiasRowsBack(v *Variable, g *tensor.Tensor) {
+	v.parents[0].accum(g)
+	if sink := v.parents[1].gradSink(); sink != nil {
+		tensor.SumRowsAccInto(sink, g)
+	}
 }
 
 // AddBiasRows adds a length-D bias vector to every row of the (N×D) input.
@@ -27,41 +42,69 @@ func AddBiasRows(x, bias *Variable) *Variable {
 		panic(fmt.Sprintf("ag: AddBiasRows shape mismatch: %v vs %v", x.Shape(), bias.Shape()))
 	}
 	n, d := x.value.Dim(0), x.value.Dim(1)
-	out := x.value.Clone()
-	od, bd := out.Data(), bias.value.Data()
+	ar := arenaOf(x, bias)
+	out := ar.rawLike(x.value)
+	out.CopyFrom(x.value)
+	addBiasRowsInPlace(out.Data(), bias.value.Data(), n, d)
+	if !anyRequires(x, bias) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, addBiasRowsBack, x, bias)
+}
+
+func addBiasRowsInPlace(od, bd []float64, n, d int) {
 	for r := 0; r < n; r++ {
 		row := od[r*d : (r+1)*d]
 		for c := range row {
 			row[c] += bd[c]
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		x.accum(g)
-		if bias.requiresGrad {
-			bias.accum(tensor.SumRows(g))
+}
+
+// linearBack propagates through the fused x·Wᵀ + b node: parents are
+// (x, w) or (x, w, b).
+func linearBack(v *Variable, g *tensor.Tensor) {
+	x, w := v.parents[0], v.parents[1]
+	if sink := x.gradSink(); sink != nil {
+		// dX += g · W
+		tensor.MatMulAccInto(sink, g, w.value)
+	}
+	if sink := w.gradSink(); sink != nil {
+		// dW += gᵀ · X
+		tensor.MatMulTransAAccInto(sink, g, x.value)
+	}
+	if v.nparents == 3 {
+		if sink := v.parents[2].gradSink(); sink != nil {
+			// db += column sums of g
+			tensor.SumRowsAccInto(sink, g)
 		}
-	}, x, bias)
+	}
 }
 
 // Linear computes x·Wᵀ + b, the standard fully-connected layer: x is
-// (N×in), w is (out×in), b is (out) and may be nil.
+// (N×in), w is (out×in), b is (out) and may be nil. The bias addition is
+// fused into the matmul node — one output buffer, one tape node — and the
+// backward accumulates dX, dW and db straight into the gradient buffers.
+// The arithmetic (and therefore every float64 bit) matches the historical
+// matmul-then-AddBiasRows pair: the fused node's incoming gradient is
+// exactly the gradient the bias node used to forward verbatim to the
+// matmul node.
 func Linear(x, w, b *Variable) *Variable {
 	if x.value.Dims() != 2 || w.value.Dims() != 2 || x.value.Dim(1) != w.value.Dim(1) {
 		panic(fmt.Sprintf("ag: Linear shape mismatch: x %v, w %v", x.Shape(), w.Shape()))
 	}
-	out := tensor.MatMulTransB(x.value, w.value)
-	y := newNode(out, func(g *tensor.Tensor) {
-		if x.requiresGrad {
-			// dX = g · W
-			x.accum(tensor.MatMul(g, w.value))
-		}
-		if w.requiresGrad {
-			// dW = gᵀ · X
-			w.accum(tensor.MatMulTransA(g, x.value))
-		}
-	}, x, w)
-	if b == nil {
-		return y
+	if b != nil && (b.value.Dims() != 1 || b.value.Dim(0) != w.value.Dim(0)) {
+		panic(fmt.Sprintf("ag: Linear bias shape %v for w %v", b.Shape(), w.Shape()))
 	}
-	return AddBiasRows(y, b)
+	ar := arenaOf(x, w, b)
+	n, o := x.value.Dim(0), w.value.Dim(0)
+	out := ar.tensorRaw(n, o)
+	tensor.MatMulTransBInto(out, x.value, w.value)
+	if b != nil {
+		addBiasRowsInPlace(out.Data(), b.value.Data(), n, o)
+	}
+	if !anyRequires(x, w, b) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, linearBack, x, w, b)
 }

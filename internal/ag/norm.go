@@ -13,21 +13,22 @@ import (
 // mean/variance buffers in place with the given momentum (newRunning =
 // (1-momentum)*running + momentum*batch). In evaluation mode it uses the
 // running buffers and is a pure affine transform. gamma and beta have
-// length C.
+// length C. All per-channel statistics and the saved x̂ activations are
+// arena scratch, recycled with the step.
 func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float64) *Variable {
-	s := x.value.Shape()
-	if len(s) != 4 {
-		panic(fmt.Sprintf("ag: BatchNorm2d wants (N,C,H,W), got %v", s))
+	if x.value.Dims() != 4 {
+		panic(fmt.Sprintf("ag: BatchNorm2d wants (N,C,H,W), got %v", x.Shape()))
 	}
-	n, c, h, w := s[0], s[1], s[2], s[3]
+	n, c, h, w := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
 	if gamma.value.Len() != c || beta.value.Len() != c || runMean.Len() != c || runVar.Len() != c {
 		panic(fmt.Sprintf("ag: BatchNorm2d parameter length mismatch for C=%d", c))
 	}
 	sp := h * w
 	m := float64(n * sp) // elements per channel
 
-	mean := make([]float64, c)
-	varr := make([]float64, c)
+	ar := arenaOf(x, gamma, beta)
+	mean := ar.floatsRaw(c)
+	varr := ar.floatsRaw(c)
 	xd := x.value.Data()
 	if training {
 		for ch := 0; ch < c; ch++ {
@@ -60,13 +61,13 @@ func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, train
 		copy(varr, runVar.Data())
 	}
 
-	invStd := make([]float64, c)
+	invStd := ar.floatsRaw(c)
 	for ch := 0; ch < c; ch++ {
 		invStd[ch] = 1 / math.Sqrt(varr[ch]+eps)
 	}
 
-	out := tensor.New(n, c, h, w)
-	xhat := make([]float64, len(xd)) // saved for backward
+	out := ar.tensorRaw(n, c, h, w)
+	xhat := ar.floatsRaw(len(xd)) // saved for backward
 	od := out.Data()
 	gd, bd := gamma.value.Data(), beta.value.Data()
 	for smp := 0; smp < n; smp++ {
@@ -81,11 +82,14 @@ func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, train
 		}
 	}
 
-	return newNode(out, func(g *tensor.Tensor) {
+	if !anyRequires(x, gamma, beta) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, func(_ *Variable, g *tensor.Tensor) {
 		gdd := g.Data()
 		// Per-channel reductions Σdy and Σdy·x̂.
-		sumDy := make([]float64, c)
-		sumDyXhat := make([]float64, c)
+		sumDy := ar.floats(c)
+		sumDyXhat := ar.floats(c)
 		for smp := 0; smp < n; smp++ {
 			for ch := 0; ch < c; ch++ {
 				base := (smp*c + ch) * sp
@@ -99,21 +103,22 @@ func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, train
 				sumDyXhat[ch] += sdx
 			}
 		}
-		if gamma.requiresGrad {
-			dg := tensor.New(c)
-			copy(dg.Data(), sumDyXhat)
-			gamma.accum(dg)
+		if sink := gamma.gradSink(); sink != nil {
+			sd := sink.Data()
+			for ch := 0; ch < c; ch++ {
+				sd[ch] += sumDyXhat[ch]
+			}
 		}
-		if beta.requiresGrad {
-			db := tensor.New(c)
-			copy(db.Data(), sumDy)
-			beta.accum(db)
+		if sink := beta.gradSink(); sink != nil {
+			sd := sink.Data()
+			for ch := 0; ch < c; ch++ {
+				sd[ch] += sumDy[ch]
+			}
 		}
-		if x.requiresGrad {
-			dx := tensor.New(n, c, h, w)
-			dd := dx.Data()
+		if sink := x.gradSink(); sink != nil {
+			dd := sink.Data()
 			if training {
-				// dX = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
+				// dX += γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
 				for smp := 0; smp < n; smp++ {
 					for ch := 0; ch < c; ch++ {
 						base := (smp*c + ch) * sp
@@ -121,23 +126,22 @@ func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, train
 						mDy := sumDy[ch] / m
 						mDyX := sumDyXhat[ch] / m
 						for i := 0; i < sp; i++ {
-							dd[base+i] = k * (gdd[base+i] - mDy - xhat[base+i]*mDyX)
+							dd[base+i] += k * (gdd[base+i] - mDy - xhat[base+i]*mDyX)
 						}
 					}
 				}
 			} else {
-				// Running statistics are constants: dX = γ/σ · dy.
+				// Running statistics are constants: dX += γ/σ · dy.
 				for smp := 0; smp < n; smp++ {
 					for ch := 0; ch < c; ch++ {
 						base := (smp*c + ch) * sp
 						k := gd[ch] * invStd[ch]
 						for i := 0; i < sp; i++ {
-							dd[base+i] = k * gdd[base+i]
+							dd[base+i] += k * gdd[base+i]
 						}
 					}
 				}
 			}
-			x.accum(dx)
 		}
 	}, x, gamma, beta)
 }
@@ -145,11 +149,10 @@ func BatchNorm2d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, train
 // BatchNorm1d normalizes an (N,D) Variable per feature column; semantics
 // mirror BatchNorm2d. Used by the generator's fully-connected stem.
 func BatchNorm1d(x, gamma, beta *Variable, runMean, runVar *tensor.Tensor, training bool, momentum, eps float64) *Variable {
-	s := x.value.Shape()
-	if len(s) != 2 {
-		panic(fmt.Sprintf("ag: BatchNorm1d wants (N,D), got %v", s))
+	if x.value.Dims() != 2 {
+		panic(fmt.Sprintf("ag: BatchNorm1d wants (N,D), got %v", x.Shape()))
 	}
-	n, d := s[0], s[1]
+	n, d := x.value.Dim(0), x.value.Dim(1)
 	// Reuse the 2-D implementation by viewing (N,D) as (N,D,1,1).
 	x4 := Reshape(x, n, d, 1, 1)
 	y := BatchNorm2d(x4, gamma, beta, runMean, runVar, training, momentum, eps)

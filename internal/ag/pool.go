@@ -11,20 +11,51 @@ import (
 // (N,C,H,W) Variable. Argmax positions are recorded in the forward pass and
 // reused to scatter gradients.
 func MaxPool2d(x *Variable, k, stride int) *Variable {
-	s := x.value.Shape()
-	if len(s) != 4 {
-		panic(fmt.Sprintf("ag: MaxPool2d wants (N,C,H,W), got %v", s))
+	if x.value.Dims() != 4 {
+		panic(fmt.Sprintf("ag: MaxPool2d wants (N,C,H,W), got %v", x.Shape()))
 	}
-	n, c, h, w := s[0], s[1], s[2], s[3]
+	n, c, h, w := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
 	oh := tensor.ConvOutSize(h, k, stride, 0)
 	ow := tensor.ConvOutSize(w, k, stride, 0)
-	out := tensor.New(n, c, oh, ow)
-	arg := make([]int32, n*c*oh*ow) // flat index within the (H,W) plane
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, c, oh, ow)
+	var arg []int
+	if x.requiresGrad {
+		arg = ar.intsRaw(n * c * oh * ow) // flat index within the (H,W) plane
+	}
 	xd, od := x.value.Data(), out.Data()
+	fast2x2 := k == 2 && stride == 2 && h >= 2*oh && w >= 2*ow
 	for sc := 0; sc < n*c; sc++ {
 		src := xd[sc*h*w : (sc+1)*h*w]
 		dst := od[sc*oh*ow : (sc+1)*oh*ow]
-		ar := arg[sc*oh*ow : (sc+1)*oh*ow]
+		if fast2x2 {
+			// The ubiquitous 2×2/stride-2 window, unrolled: same scan
+			// order as the generic loops (row-major, first max wins), so
+			// values and argmaxes are identical.
+			for oy := 0; oy < oh; oy++ {
+				r0 := src[2*oy*w : 2*oy*w+w]
+				r1 := src[(2*oy+1)*w : (2*oy+1)*w+w]
+				drow := dst[oy*ow : (oy+1)*ow]
+				for ox := 0; ox < ow; ox++ {
+					ix := 2 * ox
+					best, bi := r0[ix], 2*oy*w+ix
+					if v := r0[ix+1]; v > best {
+						best, bi = v, 2*oy*w+ix+1
+					}
+					if v := r1[ix]; v > best {
+						best, bi = v, (2*oy+1)*w+ix
+					}
+					if v := r1[ix+1]; v > best {
+						best, bi = v, (2*oy+1)*w+ix+1
+					}
+					drow[ox] = best
+					if arg != nil {
+						arg[sc*oh*ow+oy*ow+ox] = bi
+					}
+				}
+			}
+			continue
+		}
 		di := 0
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -47,40 +78,58 @@ func MaxPool2d(x *Variable, k, stride int) *Variable {
 					}
 				}
 				dst[di] = best
-				ar[di] = int32(bi)
+				if arg != nil {
+					arg[sc*oh*ow+di] = bi
+				}
 				di++
 			}
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	node := newNode(ar, out, maxPoolBack, x)
+	node.auxI = arg
+	return node
+}
+
+// maxPoolBack scatters gradients to the argmax positions saved in auxI.
+func maxPoolBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	h, w := x.value.Dim(2), x.value.Dim(3)
+	oh, ow := v.value.Dim(2), v.value.Dim(3)
+	arg := v.auxI
+	// Several output cells can share one argmax input, so scatter into
+	// zeroed arena scratch and accumulate once (the historical order).
+	dx := v.ar.zeroLike(x.value)
+	gd, dd := g.Data(), dx.Data()
+	for sc := 0; sc < n*c; sc++ {
+		gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
+		a := arg[sc*oh*ow : (sc+1)*oh*ow]
+		base := sc * h * w
+		for i, gv := range gsrc {
+			dd[base+a[i]] += gv
 		}
-		dx := tensor.New(n, c, h, w)
-		gd, dd := g.Data(), dx.Data()
-		for sc := 0; sc < n*c; sc++ {
-			gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
-			ar := arg[sc*oh*ow : (sc+1)*oh*ow]
-			base := sc * h * w
-			for i, gv := range gsrc {
-				dd[base+int(ar[i])] += gv
-			}
-		}
-		x.accum(dx)
-	}, x)
+	}
+	tensor.AccumInto(sink, dx)
 }
 
 // AvgPool2d applies k×k average pooling with the given stride (no padding).
 func AvgPool2d(x *Variable, k, stride int) *Variable {
-	s := x.value.Shape()
-	if len(s) != 4 {
-		panic(fmt.Sprintf("ag: AvgPool2d wants (N,C,H,W), got %v", s))
+	if x.value.Dims() != 4 {
+		panic(fmt.Sprintf("ag: AvgPool2d wants (N,C,H,W), got %v", x.Shape()))
 	}
-	n, c, h, w := s[0], s[1], s[2], s[3]
+	n, c, h, w := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
 	oh := tensor.ConvOutSize(h, k, stride, 0)
 	ow := tensor.ConvOutSize(w, k, stride, 0)
 	inv := 1 / float64(k*k)
-	out := tensor.New(n, c, oh, ow)
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, c, oh, ow)
 	xd, od := x.value.Data(), out.Data()
 	for sc := 0; sc < n*c; sc++ {
 		src := xd[sc*h*w : (sc+1)*h*w]
@@ -102,45 +151,63 @@ func AvgPool2d(x *Variable, k, stride int) *Variable {
 			}
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(n, c, h, w)
-		gd, dd := g.Data(), dx.Data()
-		for sc := 0; sc < n*c; sc++ {
-			gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
-			base := sc * h * w
-			gi := 0
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					gv := gsrc[gi] * inv
-					gi++
-					for ky := 0; ky < k; ky++ {
-						for kx := 0; kx < k; kx++ {
-							iy, ix := oy*stride+ky, ox*stride+kx
-							if iy < h && ix < w {
-								dd[base+iy*w+ix] += gv
-							}
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	node := newNode(ar, out, avgPoolBack, x)
+	node.aux0, node.aux1 = float64(k), float64(stride)
+	return node
+}
+
+// avgPoolBack spreads gradients back over each window (k and stride ride
+// in aux0/aux1).
+func avgPoolBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	k, stride := int(v.aux0), int(v.aux1)
+	inv := 1 / float64(k*k)
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	h, w := x.value.Dim(2), x.value.Dim(3)
+	oh, ow := v.value.Dim(2), v.value.Dim(3)
+	// Overlapping windows (stride < k) accumulate several outputs into
+	// one input element: scatter into zeroed scratch, accumulate once.
+	dx := v.ar.zeroLike(x.value)
+	gd, dd := g.Data(), dx.Data()
+	for sc := 0; sc < n*c; sc++ {
+		gsrc := gd[sc*oh*ow : (sc+1)*oh*ow]
+		base := sc * h * w
+		gi := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := gsrc[gi] * inv
+				gi++
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						iy, ix := oy*stride+ky, ox*stride+kx
+						if iy < h && ix < w {
+							dd[base+iy*w+ix] += gv
 						}
 					}
 				}
 			}
 		}
-		x.accum(dx)
-	}, x)
+	}
+	tensor.AccumInto(sink, dx)
 }
 
 // GlobalAvgPool reduces (N,C,H,W) to (N,C) by averaging each channel plane.
 func GlobalAvgPool(x *Variable) *Variable {
-	s := x.value.Shape()
-	if len(s) != 4 {
-		panic(fmt.Sprintf("ag: GlobalAvgPool wants (N,C,H,W), got %v", s))
+	if x.value.Dims() != 4 {
+		panic(fmt.Sprintf("ag: GlobalAvgPool wants (N,C,H,W), got %v", x.Shape()))
 	}
-	n, c, h, w := s[0], s[1], s[2], s[3]
+	n, c, h, w := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
 	sp := h * w
 	inv := 1 / float64(sp)
-	out := tensor.New(n, c)
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, c)
 	xd, od := x.value.Data(), out.Data()
 	for sc := 0; sc < n*c; sc++ {
 		sum := 0.0
@@ -149,19 +216,28 @@ func GlobalAvgPool(x *Variable) *Variable {
 		}
 		od[sc] = sum * inv
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, globalAvgPoolBack, x)
+}
+
+// globalAvgPoolBack spreads each channel's mean gradient over its plane.
+func globalAvgPoolBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	sp := x.value.Dim(2) * x.value.Dim(3)
+	inv := 1 / float64(sp)
+	gd, dd := g.Data(), sink.Data()
+	for sc := 0; sc < n*c; sc++ {
+		gv := gd[sc] * inv
+		plane := dd[sc*sp : (sc+1)*sp]
+		for i := range plane {
+			plane[i] += gv
 		}
-		dx := tensor.New(n, c, h, w)
-		gd, dd := g.Data(), dx.Data()
-		for sc := 0; sc < n*c; sc++ {
-			gv := gd[sc] * inv
-			plane := dd[sc*sp : (sc+1)*sp]
-			for i := range plane {
-				plane[i] = gv
-			}
-		}
-		x.accum(dx)
-	}, x)
+	}
 }

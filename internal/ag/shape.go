@@ -7,28 +7,43 @@ import (
 )
 
 // Reshape returns a Variable viewing x's data under a new shape. Gradients
-// are reshaped back on the way down.
+// are reshaped back on the way down. Both view headers come from the
+// arena, so reshapes are allocation-free on warmed-up steps.
 func Reshape(x *Variable, shape ...int) *Variable {
-	out := x.value.Reshape(shape...)
-	orig := x.value.Shape()
-	return newNode(out, func(g *tensor.Tensor) {
-		if x.requiresGrad {
-			x.accum(g.Reshape(orig...))
-		}
-	}, x)
+	ar := arenaOf(x)
+	out := ar.view(x.value, shape...)
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, reshapeBack, x)
+}
+
+// reshapeBack views the gradient under the parent's shape — which is the
+// parent value's own (stable within the step) shape, so no state needs
+// capturing.
+func reshapeBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	if !x.requiresGrad {
+		return
+	}
+	if v.ar == nil {
+		x.accum(g.Reshape(x.value.Shape()...))
+		return
+	}
+	x.accum(v.ar.T.ViewLike(g, x.value))
 }
 
 // Flatten reshapes (N, ...) to (N, rest).
 func Flatten(x *Variable) *Variable {
-	s := x.value.Shape()
-	if len(s) < 2 {
-		panic(fmt.Sprintf("ag: Flatten wants at least 2 dims, got %v", s))
+	dims := x.value.Dims()
+	if dims < 2 {
+		panic(fmt.Sprintf("ag: Flatten wants at least 2 dims, got %v", x.Shape()))
 	}
 	rest := 1
-	for _, d := range s[1:] {
-		rest *= d
+	for i := 1; i < dims; i++ {
+		rest *= x.value.Dim(i)
 	}
-	return Reshape(x, s[0], rest)
+	return Reshape(x, x.value.Dim(0), rest)
 }
 
 // ConcatChannels concatenates two (N,C,H,W) Variables along the channel
@@ -40,29 +55,48 @@ func ConcatChannels(a, b *Variable) *Variable {
 	}
 	n, ca, cb, h, w := as[0], as[1], bs[1], as[2], as[3]
 	sp := h * w
-	out := tensor.New(n, ca+cb, h, w)
+	ar := arenaOf(a, b)
+	out := ar.tensorRaw(n, ca+cb, h, w)
 	ad, bd, od := a.value.Data(), b.value.Data(), out.Data()
 	for s := 0; s < n; s++ {
 		copy(od[s*(ca+cb)*sp:], ad[s*ca*sp:(s+1)*ca*sp])
 		copy(od[(s*(ca+cb)+ca)*sp:], bd[s*cb*sp:(s+1)*cb*sp])
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		gd := g.Data()
-		if a.requiresGrad {
-			da := tensor.New(n, ca, h, w)
-			for s := 0; s < n; s++ {
-				copy(da.Data()[s*ca*sp:(s+1)*ca*sp], gd[s*(ca+cb)*sp:])
+	if !anyRequires(a, b) {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, concatChannelsBack, a, b)
+}
+
+// concatChannelsBack splits the output gradient back onto the two inputs;
+// every dimension is recoverable from the parents' shapes. Each input
+// element receives exactly one slice of the output gradient, so both
+// halves accumulate straight into their sinks.
+func concatChannelsBack(v *Variable, g *tensor.Tensor) {
+	a, b := v.parents[0], v.parents[1]
+	n, ca, cb := a.value.Dim(0), a.value.Dim(1), b.value.Dim(1)
+	sp := a.value.Dim(2) * a.value.Dim(3)
+	gd := g.Data()
+	if sink := a.gradSink(); sink != nil {
+		dd := sink.Data()
+		for s := 0; s < n; s++ {
+			src := gd[s*(ca+cb)*sp : s*(ca+cb)*sp+ca*sp]
+			dst := dd[s*ca*sp : (s+1)*ca*sp]
+			for i, val := range src {
+				dst[i] += val
 			}
-			a.accum(da)
 		}
-		if b.requiresGrad {
-			db := tensor.New(n, cb, h, w)
-			for s := 0; s < n; s++ {
-				copy(db.Data()[s*cb*sp:(s+1)*cb*sp], gd[(s*(ca+cb)+ca)*sp:(s*(ca+cb)+ca)*sp+cb*sp])
+	}
+	if sink := b.gradSink(); sink != nil {
+		dd := sink.Data()
+		for s := 0; s < n; s++ {
+			src := gd[(s*(ca+cb)+ca)*sp : (s*(ca+cb)+ca)*sp+cb*sp]
+			dst := dd[s*cb*sp : (s+1)*cb*sp]
+			for i, val := range src {
+				dst[i] += val
 			}
-			b.accum(db)
 		}
-	}, a, b)
+	}
 }
 
 // SplitChannels splits an (N,C,H,W) Variable into the first c1 channels and
@@ -75,29 +109,50 @@ func SplitChannels(x *Variable, c1 int) (*Variable, *Variable) {
 	n, c, h, w := s[0], s[1], s[2], s[3]
 	c2 := c - c1
 	sp := h * w
-	fa := tensor.New(n, c1, h, w)
-	fb := tensor.New(n, c2, h, w)
+	ar := arenaOf(x)
+	fa := ar.tensorRaw(n, c1, h, w)
+	fb := ar.tensorRaw(n, c2, h, w)
 	xd := x.value.Data()
 	for smp := 0; smp < n; smp++ {
 		copy(fa.Data()[smp*c1*sp:(smp+1)*c1*sp], xd[smp*c*sp:])
 		copy(fb.Data()[smp*c2*sp:(smp+1)*c2*sp], xd[(smp*c+c1)*sp:])
 	}
-	// Both halves share one backward that scatters into x, each contributing
-	// its own region; they are independent nodes with x as parent.
-	mk := func(val *tensor.Tensor, chanOff, nch int) *Variable {
-		return newNode(val, func(g *tensor.Tensor) {
-			if !x.requiresGrad {
-				return
-			}
-			dx := tensor.New(n, c, h, w)
-			gd := g.Data()
-			for smp := 0; smp < n; smp++ {
-				copy(dx.Data()[(smp*c+chanOff)*sp:(smp*c+chanOff)*sp+nch*sp], gd[smp*nch*sp:(smp+1)*nch*sp])
-			}
-			x.accum(dx)
-		}, x)
+	if !x.requiresGrad {
+		return constIn(ar, fa), constIn(ar, fb)
 	}
-	return mk(fa, 0, c1), mk(fb, c1, c2)
+	// Both halves scatter into x independently, each into its own channel
+	// region (the offset rides in aux0; the region width is the half's own
+	// channel count). Each x element receives at most one contribution per
+	// half, so the halves accumulate straight into x's gradient buffer.
+	mk := func(val *tensor.Tensor, chanOff int) *Variable {
+		node := newNode(ar, val, splitChannelsBack, x)
+		node.aux0 = float64(chanOff)
+		return node
+	}
+	return mk(fa, 0), mk(fb, c1)
+}
+
+// splitChannelsBack scatters one half's gradient into its channel region
+// of the input.
+func splitChannelsBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	sp := x.value.Dim(2) * x.value.Dim(3)
+	nch := v.value.Dim(1)
+	chanOff := int(v.aux0)
+	dd := sink.Data()
+	gd := g.Data()
+	for smp := 0; smp < n; smp++ {
+		src := gd[smp*nch*sp : (smp+1)*nch*sp]
+		dst := dd[(smp*c+chanOff)*sp : (smp*c+chanOff)*sp+nch*sp]
+		for i, val := range src {
+			dst[i] += val
+		}
+	}
 }
 
 // ChannelShuffle permutes channels of an (N,C,H,W) Variable with the
@@ -110,43 +165,63 @@ func ChannelShuffle(x *Variable, groups int) *Variable {
 	n, c, h, w := s[0], s[1], s[2], s[3]
 	k := c / groups
 	sp := h * w
-	perm := make([]int, c) // perm[dst] = src
+	ar := arenaOf(x)
+	perm := ar.intsRaw(c) // perm[dst] = src
 	for g := 0; g < groups; g++ {
 		for i := 0; i < k; i++ {
 			perm[i*groups+g] = g*k + i
 		}
 	}
-	out := tensor.New(n, c, h, w)
+	out := ar.tensorRaw(n, c, h, w)
 	xd, od := x.value.Data(), out.Data()
 	for smp := 0; smp < n; smp++ {
 		for dst, src := range perm {
 			copy(od[(smp*c+dst)*sp:(smp*c+dst+1)*sp], xd[(smp*c+src)*sp:(smp*c+src+1)*sp])
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(n, c, h, w)
-		gd := g.Data()
-		for smp := 0; smp < n; smp++ {
-			for dst, src := range perm {
-				copy(dx.Data()[(smp*c+src)*sp:(smp*c+src+1)*sp], gd[(smp*c+dst)*sp:(smp*c+dst+1)*sp])
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	node := newNode(ar, out, channelShuffleBack, x)
+	node.auxI = perm
+	return node
+}
+
+// channelShuffleBack routes each output-gradient channel back to its
+// source channel via the permutation saved in auxI. A permutation: each
+// input element receives exactly one output gradient element, accumulated
+// directly.
+func channelShuffleBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	sp := x.value.Dim(2) * x.value.Dim(3)
+	perm := v.auxI
+	dd := sink.Data()
+	gd := g.Data()
+	for smp := 0; smp < n; smp++ {
+		for dst, src := range perm {
+			sp0 := dd[(smp*c+src)*sp : (smp*c+src+1)*sp]
+			gp := gd[(smp*c+dst)*sp : (smp*c+dst+1)*sp]
+			for i, val := range gp {
+				sp0[i] += val
 			}
 		}
-		x.accum(dx)
-	}, x)
+	}
 }
 
 // Upsample2x doubles the spatial dimensions of an (N,C,H,W) Variable by
 // nearest-neighbour replication (used by the generator's decoder).
 func Upsample2x(x *Variable) *Variable {
-	s := x.value.Shape()
-	if len(s) != 4 {
-		panic(fmt.Sprintf("ag: Upsample2x wants (N,C,H,W), got %v", s))
+	if x.value.Dims() != 4 {
+		panic(fmt.Sprintf("ag: Upsample2x wants (N,C,H,W), got %v", x.Shape()))
 	}
-	n, c, h, w := s[0], s[1], s[2], s[3]
-	out := tensor.New(n, c, 2*h, 2*w)
+	n, c, h, w := x.value.Dim(0), x.value.Dim(1), x.value.Dim(2), x.value.Dim(3)
+	ar := arenaOf(x)
+	out := ar.tensorRaw(n, c, 2*h, 2*w)
 	xd, od := x.value.Data(), out.Data()
 	for sc := 0; sc < n*c; sc++ {
 		src := xd[sc*h*w : (sc+1)*h*w]
@@ -161,24 +236,33 @@ func Upsample2x(x *Variable) *Variable {
 			}
 		}
 	}
-	return newNode(out, func(g *tensor.Tensor) {
-		if !x.requiresGrad {
-			return
-		}
-		dx := tensor.New(n, c, h, w)
-		gd, dd := g.Data(), dx.Data()
-		for sc := 0; sc < n*c; sc++ {
-			src := gd[sc*4*h*w : (sc+1)*4*h*w]
-			dst := dd[sc*h*w : (sc+1)*h*w]
-			for y := 0; y < h; y++ {
-				for xx := 0; xx < w; xx++ {
-					dst[y*w+xx] = src[(2*y)*(2*w)+2*xx] +
-						src[(2*y)*(2*w)+2*xx+1] +
-						src[(2*y+1)*(2*w)+2*xx] +
-						src[(2*y+1)*(2*w)+2*xx+1]
-				}
+	if !x.requiresGrad {
+		return constIn(ar, out)
+	}
+	return newNode(ar, out, upsample2xBack, x)
+}
+
+// upsample2xBack sums each 2×2 replication block back onto its source
+// element.
+func upsample2xBack(v *Variable, g *tensor.Tensor) {
+	x := v.parents[0]
+	sink := x.gradSink()
+	if sink == nil {
+		return
+	}
+	n, c := x.value.Dim(0), x.value.Dim(1)
+	h, w := x.value.Dim(2), x.value.Dim(3)
+	gd, dd := g.Data(), sink.Data()
+	for sc := 0; sc < n*c; sc++ {
+		src := gd[sc*4*h*w : (sc+1)*4*h*w]
+		dst := dd[sc*h*w : (sc+1)*h*w]
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				dst[y*w+xx] += src[(2*y)*(2*w)+2*xx] +
+					src[(2*y)*(2*w)+2*xx+1] +
+					src[(2*y+1)*(2*w)+2*xx] +
+					src[(2*y+1)*(2*w)+2*xx+1]
 			}
 		}
-		x.accum(dx)
-	}, x)
+	}
 }

@@ -178,7 +178,7 @@ func TestDigestMovesLogitsTowardConsensus(t *testing.T) {
 		return tensor.Norm1(tensor.Sub(out, consensus))
 	}
 	before := dist()
-	if err := digest(m, px, consensus, 5, 4, 0.05, tensor.NewRand(24)); err != nil {
+	if err := digest(m, px, consensus, 5, 4, 0.05, tensor.NewRand(24), ag.NewArena()); err != nil {
 		t.Fatal(err)
 	}
 	after := dist()

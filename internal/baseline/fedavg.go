@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
@@ -57,6 +58,9 @@ type FedAvg struct {
 	// proxMu, when positive, adds the FedProx proximal term to the local
 	// objective (set via NewFedProx).
 	proxMu float64
+	// arena is the shared step-scoped allocator of the sequential local
+	// training loop.
+	arena *ag.Arena
 }
 
 // NewFedAvg builds the federation; every device runs cfg.Arch.
@@ -70,7 +74,7 @@ func NewFedAvg(cfg FedAvgConfig, ds *data.Dataset, shards [][]int) (*FedAvg, err
 	if err != nil {
 		return nil, fmt.Errorf("baseline: fedavg global: %w", err)
 	}
-	f := &FedAvg{cfg: cfg, ds: ds, global: global}
+	f := &FedAvg{cfg: cfg, ds: ds, global: global, arena: ag.NewArena()}
 	for i := range shards {
 		if len(shards[i]) == 0 {
 			return nil, fmt.Errorf("baseline: device %d has an empty shard", i)
@@ -114,13 +118,17 @@ func (f *FedAvg) Run(ctx context.Context) (fed.History, error) {
 			m.BytesDown += fed.WireBytes(globalState.Numel(), fed.WidthFloat64)
 		}
 
-		// Local training.
+		// Local training, sequential: every device trains on one shared
+		// step-scoped arena, reset per step inside LocalUpdate.
 		local := fed.LocalConfig{Epochs: cfg.LocalEpochs, BatchSize: cfg.BatchSize, LR: cfg.LR, ProxMu: f.proxMu}
 		uploads := make([]nn.StateDict, 0, len(active))
 		weights := make([]float64, 0, len(active))
 		for _, id := range active {
 			drng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<16 + uint64(id)))
-			if _, err := f.devices[id].LocalUpdate(local, drng); err != nil {
+			f.devices[id].Scratch = f.arena
+			_, err := f.devices[id].LocalUpdate(local, drng)
+			f.devices[id].Scratch = nil
+			if err != nil {
 				return hist, err
 			}
 			sd := f.devices[id].Upload()

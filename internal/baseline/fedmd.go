@@ -145,6 +145,9 @@ func (f *FedMD) Run(ctx context.Context) (fed.History, error) {
 			go func(i int, dev *fed.Device) {
 				defer wg.Done()
 				dev.Model.SetTraining(false)
+				// A single forward pass: a throwaway arena would cost more
+				// than the heap allocations it recycles, so score on the
+				// heap.
 				scores[i] = dev.Model.Forward(ag.Const(px)).Value().Clone()
 				dev.Model.SetTraining(true)
 			}(i, d)
@@ -154,7 +157,7 @@ func (f *FedMD) Run(ctx context.Context) (fed.History, error) {
 		// 2. Aggregate: consensus is the mean of the class scores.
 		consensus := scores[0].Clone()
 		for _, s := range scores[1:] {
-			tensor.AddInto(consensus, s)
+			tensor.AccumInto(consensus, s)
 		}
 		tensor.ScaleInPlace(consensus, 1/float64(len(scores)))
 
@@ -169,12 +172,16 @@ func (f *FedMD) Run(ctx context.Context) (fed.History, error) {
 			go func(i int, dev *fed.Device) {
 				defer wg.Done()
 				drng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<18 + uint64(i)<<3 + 0x3D))
-				if err := digest(dev.Model, px, consensus, cfg.DigestEpochs, cfg.BatchSize, cfg.LR, drng); err != nil {
+				war := ag.NewArena()
+				if err := digest(dev.Model, px, consensus, cfg.DigestEpochs, cfg.BatchSize, cfg.LR, drng, war); err != nil {
 					errs[i] = err
 					return
 				}
 				local := fed.LocalConfig{Epochs: cfg.RevisitEpochs, BatchSize: cfg.BatchSize, LR: cfg.LR}
-				if _, err := dev.LocalUpdate(local, drng); err != nil {
+				dev.Scratch = war
+				_, err := dev.LocalUpdate(local, drng)
+				dev.Scratch = nil
+				if err != nil {
 					errs[i] = err
 				}
 			}(i, d)
@@ -211,22 +218,27 @@ func (f *FedMD) transferPhase() error {
 			rng := tensor.NewRand(cfg.Seed ^ (uint64(i)<<7 + 0x7F))
 			opt := optim.NewSGD(dev.Model.Params(), cfg.LR, 0, 0)
 			dev.Model.SetTraining(true)
+			war := ag.NewArena()
 			for ep := 0; ep < cfg.TransferEpochs; ep++ {
 				for _, idx := range data.ShuffledBatches(f.public.NumTrain(), cfg.BatchSize, rng) {
-					bi := make([]int, len(idx))
-					by := make([]int, len(idx))
+					bi := war.Tensors().Ints(len(idx))
+					by := war.Tensors().Ints(len(idx))
 					for j, ix := range idx {
 						bi[j] = ix
 						by[j] = pubLabels[ix]
 					}
-					x, _ := f.public.GatherTrain(bi)
+					x, _ := f.public.GatherTrainIn(war.Tensors(), bi)
 					opt.ZeroGrad()
-					ag.Backward(ag.CrossEntropy(dev.Model.Forward(ag.Const(x)), by))
+					ag.Backward(ag.CrossEntropy(dev.Model.Forward(ag.ConstIn(war, x)), by))
 					opt.Step()
+					war.Reset()
 				}
 			}
 			local := fed.LocalConfig{Epochs: cfg.TransferEpochs, BatchSize: cfg.BatchSize, LR: cfg.LR}
-			if _, err := dev.LocalUpdate(local, rng); err != nil {
+			dev.Scratch = war
+			_, err := dev.LocalUpdate(local, rng)
+			dev.Scratch = nil
+			if err != nil {
 				errs[i] = err
 			}
 		}(i, d)
@@ -241,8 +253,9 @@ func (f *FedMD) transferPhase() error {
 }
 
 // digest aligns a model's public-subset logits to the consensus with an ℓ1
-// logit loss (FedMD's mean-absolute-error alignment).
-func digest(m nn.Module, px *tensor.Tensor, consensus *tensor.Tensor, epochs, batch int, lr float64, rng *rand.Rand) error {
+// logit loss (FedMD's mean-absolute-error alignment). Batches, activations
+// and the tape live in the caller's arena, reset after every step.
+func digest(m nn.Module, px *tensor.Tensor, consensus *tensor.Tensor, epochs, batch int, lr float64, rng *rand.Rand, ar *ag.Arena) error {
 	n := px.Dim(0)
 	opt := optim.NewSGD(m.Params(), lr, 0, 0)
 	m.SetTraining(true)
@@ -256,17 +269,18 @@ func digest(m nn.Module, px *tensor.Tensor, consensus *tensor.Tensor, epochs, ba
 				hi = n
 			}
 			idx := perm[lo:hi]
-			bx := tensor.New(len(idx), px.Dim(1), px.Dim(2), px.Dim(3))
-			bc := tensor.New(len(idx), cCols)
+			bx := ar.Tensors().NewRaw(len(idx), px.Dim(1), px.Dim(2), px.Dim(3))
+			bc := ar.Tensors().NewRaw(len(idx), cCols)
 			for j, ix := range idx {
 				copy(bx.Data()[j*rows:(j+1)*rows], px.Data()[ix*rows:(ix+1)*rows])
 				copy(bc.Data()[j*cCols:(j+1)*cCols], consensus.Data()[ix*cCols:(ix+1)*cCols])
 			}
-			logits := m.Forward(ag.Const(bx))
+			logits := m.Forward(ag.ConstIn(ar, bx))
 			loss := ag.Scale(1/float64(len(idx)), ag.SumAll(ag.Abs(ag.Sub(logits, ag.Const(bc)))))
 			opt.ZeroGrad()
 			ag.Backward(loss)
 			opt.Step()
+			ar.Reset()
 		}
 	}
 	return nil

@@ -54,15 +54,17 @@ func TrainStandalone(cfg StandaloneConfig, arch string, ds *data.Dataset, idx []
 	rng := tensor.NewRand(cfg.Seed + 17)
 	opt := optim.NewSGD(m.Params(), cfg.LR, cfg.Momentum, 0)
 	m.SetTraining(true)
+	ar := ag.NewArena()
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		for _, b := range data.ShuffledBatches(sub.Len(), cfg.BatchSize, rng) {
-			x, y := sub.Batch(b)
+			x, y := sub.BatchIn(ar.Tensors(), b)
 			opt.ZeroGrad()
-			ag.Backward(ag.CrossEntropy(m.Forward(ag.Const(x)), y))
+			ag.Backward(ag.CrossEntropy(m.Forward(ag.ConstIn(ar, x)), y))
 			opt.Step()
+			ar.Reset()
 		}
 	}
-	return fed.Evaluate(m, ds, 64), nil
+	return fed.EvaluateArena(m, ds, 64, ar), nil
 }
 
 // Bounds holds one device's Table III row.

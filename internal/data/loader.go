@@ -10,21 +10,33 @@ import (
 // GatherTrain assembles the training samples at the given indices into a
 // fresh batch tensor and label slice.
 func (d *Dataset) GatherTrain(idx []int) (*tensor.Tensor, []int) {
-	return gather(d.TrainX, d.TrainY, idx, d.C, d.H, d.W)
+	return gather(nil, d.TrainX, d.TrainY, idx, d.C, d.H, d.W)
+}
+
+// GatherTrainIn is GatherTrain allocating the batch tensor and label slice
+// from the given step-scoped arena (nil falls back to the heap). The
+// returned batch obeys the arena lifetime: valid until the next Reset.
+func (d *Dataset) GatherTrainIn(a *tensor.Arena, idx []int) (*tensor.Tensor, []int) {
+	return gather(a, d.TrainX, d.TrainY, idx, d.C, d.H, d.W)
 }
 
 // GatherTest assembles the test samples at the given indices.
 func (d *Dataset) GatherTest(idx []int) (*tensor.Tensor, []int) {
-	return gather(d.TestX, d.TestY, idx, d.C, d.H, d.W)
+	return gather(nil, d.TestX, d.TestY, idx, d.C, d.H, d.W)
 }
 
-func gather(x *tensor.Tensor, y []int, idx []int, c, h, w int) (*tensor.Tensor, []int) {
+// GatherTestIn is GatherTest allocating from the given arena.
+func (d *Dataset) GatherTestIn(a *tensor.Arena, idx []int) (*tensor.Tensor, []int) {
+	return gather(a, d.TestX, d.TestY, idx, d.C, d.H, d.W)
+}
+
+func gather(a *tensor.Arena, x *tensor.Tensor, y []int, idx []int, c, h, w int) (*tensor.Tensor, []int) {
 	if len(idx) == 0 {
 		panic("data: gather of empty index slice")
 	}
 	px := c * h * w
-	out := tensor.New(len(idx), c, h, w)
-	labels := make([]int, len(idx))
+	out := a.NewRaw(len(idx), c, h, w)
+	labels := a.Ints(len(idx))
 	od, xd := out.Data(), x.Data()
 	for i, src := range idx {
 		if src < 0 || src >= len(y) {
@@ -54,11 +66,17 @@ func (s *Subset) Len() int { return len(s.Idx) }
 
 // Batch gathers the subset samples selected by local positions.
 func (s *Subset) Batch(local []int) (*tensor.Tensor, []int) {
-	global := make([]int, len(local))
+	return s.BatchIn(nil, local)
+}
+
+// BatchIn is Batch allocating the gathered tensors from the given arena
+// (nil falls back to the heap).
+func (s *Subset) BatchIn(a *tensor.Arena, local []int) (*tensor.Tensor, []int) {
+	global := a.Ints(len(local))
 	for i, l := range local {
 		global[i] = s.Idx[l]
 	}
-	return s.DS.GatherTrain(global)
+	return s.DS.GatherTrainIn(a, global)
 }
 
 // LabelCounts returns the per-class sample counts within the subset.

@@ -25,6 +25,16 @@ type Device struct {
 	Model nn.Module
 	Data  *data.Subset
 
+	// Scratch, when set, is the step-scoped allocator the device's
+	// training steps draw every activation, backward scratch and batch
+	// buffer from — reset after each optimiser step, so a warmed-up step
+	// allocates (almost) nothing. It is runtime-local state (never
+	// serialised) and must be owned by the goroutine currently running
+	// the device's task; schedulers hand workers' arenas to devices just
+	// before LocalUpdate (see sched.Options.WorkerScratch). Nil keeps
+	// plain heap allocation.
+	Scratch *ag.Arena
+
 	// received holds a snapshot of the parameters last downloaded from the
 	// server, the anchor of the ℓ2 proximal term (Eq. 9). Nil before the
 	// first download.
@@ -86,22 +96,37 @@ func (d *Device) LocalUpdate(cfg LocalConfig, rng *rand.Rand) (float64, error) {
 	if cfg.ProxMu > 0 && d.received != nil {
 		anchor = d.received
 	}
-	captured := nn.CaptureState(d.Model)
+	// The tensor-to-parameter identity map is a pure function of the
+	// model, so build it once per call rather than once per batch.
+	var byTensor map[*tensor.Tensor]*ag.Variable
+	var captured nn.StateDict
+	if anchor != nil {
+		captured = nn.CaptureState(d.Model)
+		byTensor = make(map[*tensor.Tensor]*ag.Variable, len(params))
+		for _, p := range params {
+			byTensor[p.Value()] = p
+		}
+	}
 
+	ar := d.Scratch
 	lastLoss := 0.0
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		epochLoss, batches := 0.0, 0
 		for _, idx := range data.ShuffledBatches(d.Data.Len(), cfg.BatchSize, rng) {
-			x, y := d.Data.Batch(idx)
+			x, y := d.Data.BatchIn(ar.Tensors(), idx)
 			opt.ZeroGrad()
-			loss := ag.CrossEntropy(d.Model.Forward(ag.Const(x)), y)
+			loss := ag.CrossEntropy(d.Model.Forward(ag.ConstIn(ar, x)), y)
 			ag.Backward(loss)
 			if anchor != nil {
-				addProximalGrad(captured, anchor, params, cfg.ProxMu)
+				addProximalGrad(captured, anchor, byTensor, cfg.ProxMu)
 			}
 			opt.Step()
 			epochLoss += loss.Value().Data()[0]
 			batches++
+			// Everything step-scoped — activations, scratch, the batch,
+			// the tape itself — is recycled; parameters, their gradients
+			// and the optimiser state live outside the arena.
+			ar.Reset()
 		}
 		lastLoss = epochLoss / float64(batches)
 	}
@@ -112,12 +137,7 @@ func (d *Device) LocalUpdate(cfg LocalConfig, rng *rand.Rand) (float64, error) {
 // the analytic gradient of μ‖w − w_anchor‖², applied directly instead of
 // through the tape for efficiency. Batch-norm running statistics appear in
 // the state dict but not in params, so they are naturally excluded.
-func addProximalGrad(captured, anchor nn.StateDict, params []*ag.Variable, mu float64) {
-	// Map value tensors back to their parameter Variables by identity.
-	byTensor := make(map[*tensor.Tensor]*ag.Variable, len(params))
-	for _, p := range params {
-		byTensor[p.Value()] = p
-	}
+func addProximalGrad(captured, anchor nn.StateDict, byTensor map[*tensor.Tensor]*ag.Variable, mu float64) {
 	for name, w := range captured {
 		p, isParam := byTensor[w]
 		if !isParam {

@@ -13,6 +13,15 @@ import (
 // return, matching the runtime's convention that models are trained
 // between evaluations.
 func Evaluate(m nn.Module, ds *data.Dataset, batchSize int) float64 {
+	return EvaluateArena(m, ds, batchSize, ag.NewArena())
+}
+
+// EvaluateArena is Evaluate drawing every batch and activation from the
+// given step-scoped arena, which is reset after each batch — so repeated
+// evaluations through one arena are allocation-free after warm-up. The
+// arena must be owned by the calling goroutine; nil falls back to the
+// heap. The returned accuracy is identical regardless of arena.
+func EvaluateArena(m nn.Module, ds *data.Dataset, batchSize int, ar *ag.Arena) float64 {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
@@ -25,13 +34,14 @@ func Evaluate(m nn.Module, ds *data.Dataset, batchSize int) float64 {
 		if hi > n {
 			hi = n
 		}
-		idx := make([]int, hi-lo)
+		idx := ar.Tensors().Ints(hi - lo)
 		for i := range idx {
 			idx[i] = lo + i
 		}
-		x, y := ds.GatherTest(idx)
-		logits := m.Forward(ag.Const(x)).Value()
+		x, y := ds.GatherTestIn(ar.Tensors(), idx)
+		logits := m.Forward(ag.ConstIn(ar, x)).Value()
 		correct += int(ag.Accuracy(logits, y)*float64(len(y)) + 0.5)
+		ar.Reset()
 	}
 	if n == 0 {
 		return 0
@@ -46,12 +56,17 @@ func EvaluateAll(devices []*Device, ds *data.Dataset, batchSize int) []float64 {
 }
 
 // EvaluateAllParallel is EvaluateAll with an explicit worker bound
-// (0 means GOMAXPROCS). Each device's model is evaluated independently,
-// so the result is identical for any worker count.
+// (0 means GOMAXPROCS). Each device's model is evaluated independently on
+// a per-worker arena (so a thousand-device evaluation allocates like a
+// handful of them), and the result is identical for any worker count.
 func EvaluateAllParallel(devices []*Device, ds *data.Dataset, batchSize, workers int) []float64 {
 	accs := make([]float64, len(devices))
-	sched.ForEach(len(devices), workers, func(i int) {
-		accs[i] = Evaluate(devices[i].Model, ds, batchSize)
+	arenas := make([]*ag.Arena, sched.EffectiveWorkers(len(devices), workers))
+	for i := range arenas {
+		arenas[i] = ag.NewArena()
+	}
+	sched.ForEachWorker(len(devices), workers, func(i, w int) {
+		accs[i] = EvaluateArena(devices[i].Model, ds, batchSize, arenas[w])
 	})
 	return accs
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
@@ -271,6 +272,13 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 		RoundDeadline: cfg.RoundDeadline,
 		FailureRate:   cfg.FailureRate,
 		FailureSeed:   cfg.Seed ^ 0xFA117A1E,
+		// One step-scoped arena per pool worker: every device task running
+		// on a worker draws its activations, backward scratch and batch
+		// buffers from that worker's arena, so concurrent devices never
+		// share scratch and a warmed-up local phase allocates (almost)
+		// nothing. Arenas never change values — only where buffers live —
+		// so round outcomes stay bit-identical for any worker count.
+		WorkerScratch: func() any { return ag.NewArena() },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fedzkt: %w", err)
@@ -550,9 +558,13 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 	tasks := make([]sched.Task, len(active))
 	for pos, id := range active {
 		id := id
-		tasks[pos] = sched.Task{Device: id, Run: func(context.Context) error {
+		tasks[pos] = sched.Task{Device: id, Run: func(ctx context.Context) error {
 			rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<20 + uint64(id)<<4 + 0x5EED))
+			// The task owns its device for the duration of the run, so
+			// borrowing the worker's arena through the device is race-free.
+			c.devices[id].Scratch, _ = sched.Scratch(ctx).(*ag.Arena)
 			_, err := c.devices[id].LocalUpdate(local, rng)
+			c.devices[id].Scratch = nil
 			return err
 		}}
 	}

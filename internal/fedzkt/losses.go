@@ -195,12 +195,25 @@ type DistillTargets struct {
 // NewDistillTargets prepares the teacher side from the global model's
 // softmax outputs (N×D).
 func NewDistillTargets(teacherProbs *tensor.Tensor) *DistillTargets {
+	return NewDistillTargetsIn(nil, teacherProbs)
+}
+
+// NewDistillTargetsIn is NewDistillTargets drawing the precomputed log
+// tensor from the given arena (nil falls back to the heap). The wrapping
+// Variables are deliberately plain constants carrying no arena, so the
+// targets can be shared by concurrent per-worker tapes — each worker's ops
+// pick the worker's own arena from the student operand instead. The
+// caller must keep the arena un-reset until every worker is done with the
+// iteration.
+func NewDistillTargetsIn(a *tensor.Arena, teacherProbs *tensor.Tensor) *DistillTargets {
 	if teacherProbs.Dims() != 2 {
 		panic(fmt.Sprintf("fedzkt: DistillKL teacher probs must be 2-D, got %v", teacherProbs.Shape()))
 	}
+	logProbs := a.NewRaw(teacherProbs.Shape()...)
+	tensor.ApplyInto(logProbs, teacherProbs, safeLog)
 	return &DistillTargets{
 		probs:    ag.Const(teacherProbs),
-		logProbs: ag.Const(tensor.Apply(teacherProbs, safeLog)),
+		logProbs: ag.Const(logProbs),
 		n:        float64(teacherProbs.Dim(0)),
 	}
 }

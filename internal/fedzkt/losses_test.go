@@ -125,7 +125,7 @@ func TestHypothesesGradientOrdering(t *testing.T) {
 		wTeacher := w.Clone()
 		pert := tensor.New(dout, din)
 		tensor.FillNormal(pert, 0, 0.01, rng) // near convergence
-		tensor.AddInto(wTeacher, pert)
+		tensor.AccumInto(wTeacher, pert)
 
 		for _, kind := range []LossKind{LossKL, LossSL, LossL1} {
 			xt := tensor.New(n, din)

@@ -43,6 +43,20 @@ type Server struct {
 	genOpt      *optim.Adam
 	globalSched *optim.MultiStepLR
 	genSched    *optim.MultiStepLR
+
+	// phase is the step-scoped arena of the single-goroutine distillation
+	// phases (generator/global steps, the shared generated batch and
+	// distillation targets of the transfer-back, global evaluation). It is
+	// reset at each step boundary — after the optimiser consumed the
+	// gradients, and only once concurrent readers of the iteration's
+	// shared tensors have joined.
+	phase *ag.Arena
+	// workerArenas are the per-worker arenas of the parallel sections
+	// (transfer-back replica steps, replica evaluation), grown on the
+	// caller's goroutine before a fan-out so workers never mutate the
+	// slice. Worker w is the only goroutine touching workerArenas[w]
+	// during a fan-out.
+	workerArenas []*ag.Arena
 }
 
 // NewServer constructs the server side for a dataset signature (input
@@ -76,6 +90,7 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 		codec:   cdc,
 		global:  global,
 		gen:     model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
+		phase:   ag.NewArena(),
 	}
 	s.globalOpt = optim.NewSGD(global.Params(), cfg.ServerLR, 0.9, 0)
 	s.genOpt = optim.NewAdam(s.gen.Params(), cfg.GenLR)
@@ -241,6 +256,14 @@ func (s *Server) Distill(ctx context.Context, round int) (float64, error) {
 	return gn, nil
 }
 
+// ensureWorkerArenas grows the per-worker arena pool to n on the calling
+// goroutine, before a fan-out references them.
+func (s *Server) ensureWorkerArenas(n int) {
+	for len(s.workerArenas) < n {
+		s.workerArenas = append(s.workerArenas, ag.NewArena())
+	}
+}
+
 // teachersPerIter returns the effective per-iteration teacher count: 0 for
 // the exact full-ensemble mode, otherwise TeachersPerIter clamped to the
 // federation size.
@@ -338,10 +361,12 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		// F is a fixed function during the adversary's move: frozen
 		// parameters and frozen batch-norm statistics, so the generator
 		// optimises a stationary objective and F's running statistics
-		// track only the batches F itself trains on.
+		// track only the batches F itself trains on. The whole step —
+		// noise, activations, backward scratch, the tape — lives in the
+		// phase arena and is recycled after the optimiser step.
 		nn.SetTrainable(s.global, false)
 		s.global.SetTraining(false)
-		z := ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
+		z := ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))
 		x := s.gen.Forward(z)
 		loss := s.disagreement(x, teachers, weights)
 		lg := ag.Scale(-1, loss)
@@ -353,6 +378,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 			gradNormCount++
 		}
 		s.genOpt.Step()
+		s.phase.Reset()
 		nn.SetTrainable(s.global, true)
 		s.global.SetTraining(true)
 
@@ -361,12 +387,13 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		// step. ---
 		nn.SetTrainable(s.gen, false)
 		for st := 0; st < cfg.StudentSteps; st++ {
-			z = ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))
+			z = ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))
 			x = s.gen.Forward(z)
 			loss = s.disagreement(x, teachers, weights)
 			s.globalOpt.ZeroGrad()
 			ag.Backward(loss)
 			s.globalOpt.Step()
+			s.phase.Reset()
 		}
 		nn.SetTrainable(s.gen, true)
 
@@ -445,12 +472,14 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("fedzkt: transfer-back phase cancelled at iteration %d of round %d: %w", it, round, err)
 		}
-		x := s.gen.Forward(ag.Const(s.gen.SampleZ(cfg.DistillBatch, rng))).Value()
 		// The generated batch and the teacher's distillation targets are
-		// shared read-only constants: wrap and precompute them once per
-		// iteration instead of once per replica.
-		xc := ag.Const(x)
-		targets := NewDistillTargets(ag.SoftmaxRows(s.global.Forward(xc).Value()))
+		// shared read-only values, computed once per iteration on the
+		// phase arena (reset only after every worker has joined). Their
+		// Variable wrappers carry no arena, so each worker's tape draws
+		// from the worker's own arena instead.
+		x := s.gen.Forward(ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))).Value()
+		targets := NewDistillTargetsIn(s.phase.Tensors(),
+			ag.SoftmaxRowsIn(s.phase, s.global.Forward(ag.ConstIn(s.phase, x)).Value()))
 
 		batch := phaseLeases
 		if t > 0 {
@@ -460,25 +489,34 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 		// One independent distillation step per resident replica, bounded
 		// to the configured worker count so a 1,000-device federation does
 		// not spawn 1,000 goroutines (and to a single goroutine under the
-		// reference sequential scheduler).
-		sched.ForEach(len(batch), cfg.poolWorkers(), func(i int) {
+		// reference sequential scheduler). Each worker owns an arena,
+		// reset after every replica's step — which must stay ordered
+		// before this iteration's phase-arena reset below: worker arenas
+		// memoise conv lowerings keyed by the shared phase-arena batch x
+		// (see ag.convColKey), so a worker cache must never outlive the
+		// phase buffers it is keyed on.
+		s.ensureWorkerArenas(sched.EffectiveWorkers(len(batch), cfg.poolWorkers()))
+		sched.ForEachWorker(len(batch), cfg.poolWorkers(), func(i, w int) {
+			wa := s.workerArenas[w]
 			l := batch[i]
-			loss := targets.Loss(l.slot.module.Forward(xc))
+			loss := targets.Loss(l.slot.module.Forward(ag.ConstIn(wa, x)))
 			l.slot.opt.ZeroGrad()
 			ag.Backward(loss)
 			l.slot.opt.Step()
+			wa.Reset()
 		})
 
 		if t > 0 {
 			s.cohorts.release(batch)
 		}
+		s.phase.Reset()
 	}
 	return nil
 }
 
 // EvaluateGlobal reports F's test accuracy on ds.
 func (s *Server) EvaluateGlobal(ds *data.Dataset) float64 {
-	return fed.Evaluate(s.global, ds, 64)
+	return fed.EvaluateArena(s.global, ds, 64, s.phase)
 }
 
 // EvaluateReplicas reports the test accuracy of every registered device's
@@ -503,11 +541,12 @@ func (s *Server) EvaluateReplicas(ds *data.Dataset, batchSize, workers int) []fl
 		chunk = runtime.GOMAXPROCS(0)
 	}
 	ids := s.cohorts.allIDs()
+	s.ensureWorkerArenas(sched.EffectiveWorkers(chunk, workers))
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
 		leases := s.cohorts.checkout(ids[lo:hi], false, false)
-		sched.ForEach(hi-lo, workers, func(i int) {
-			accs[lo+i] = fed.Evaluate(leases[i].slot.module, ds, batchSize)
+		sched.ForEachWorker(hi-lo, workers, func(i, w int) {
+			accs[lo+i] = fed.EvaluateArena(leases[i].slot.module, ds, batchSize, s.workerArenas[w])
 		})
 		s.cohorts.release(leases)
 	}

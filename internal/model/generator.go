@@ -75,7 +75,14 @@ func (g *Generator) Forward(z *ag.Variable) *ag.Variable {
 
 // SampleZ draws an (n × ZDim) batch of standard Gaussian noise.
 func (g *Generator) SampleZ(n int, rng *rand.Rand) *tensor.Tensor {
-	z := tensor.New(n, g.ZDim)
+	return g.SampleZIn(nil, n, rng)
+}
+
+// SampleZIn is SampleZ drawing the noise tensor from the given step-scoped
+// arena (nil falls back to the heap). The draw sequence from rng is
+// identical either way.
+func (g *Generator) SampleZIn(a *tensor.Arena, n int, rng *rand.Rand) *tensor.Tensor {
+	z := a.NewRaw(n, g.ZDim)
 	tensor.FillNormal(z, 0, 1, rng)
 	return z
 }

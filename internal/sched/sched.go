@@ -101,6 +101,14 @@ type Options struct {
 	FailureRate float64
 	// FailureSeed seeds the failure-injection hash.
 	FailureSeed uint64
+	// WorkerScratch, when set, is a factory for per-worker scratch state
+	// (e.g. a step-scoped tensor arena). The pool creates at most one
+	// scratch per worker slot, lazily, and hands it to tasks through their
+	// context (see Scratch). A worker slot runs one task at a time and
+	// rounds form a single stream, so the scratch is never accessed
+	// concurrently; it is reused across tasks and rounds, which is the
+	// point — warmed-up scratch makes device steps allocation-free.
+	WorkerScratch func() any
 }
 
 // Validate reports configuration errors.
@@ -156,6 +164,11 @@ type Pool struct {
 	opts    Options
 	stats   Stats
 	running atomic.Bool
+	// scratch holds the lazily created per-worker-slot scratch states.
+	// Slot i is only touched by the single goroutine serving queue i of
+	// the current round; successive rounds are ordered by RunRound's
+	// single-stream guarantee, so no lock is needed.
+	scratch []any
 }
 
 // NewPool validates opts and builds a pool.
@@ -163,7 +176,40 @@ func NewPool(opts Options) (*Pool, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Pool{opts: opts}, nil
+	p := &Pool{opts: opts}
+	if opts.WorkerScratch != nil {
+		p.scratch = make([]any, opts.workers())
+	}
+	return p, nil
+}
+
+// scratchKey is the context key carrying a worker's scratch to its tasks.
+type scratchKey struct{}
+
+// Scratch returns the per-worker scratch state installed by the pool for
+// the task's worker, or nil when the pool has no WorkerScratch factory
+// (or ctx is not a task context).
+func Scratch(ctx context.Context) any {
+	return ctx.Value(scratchKey{})
+}
+
+// scratchFor lazily creates and returns slot i's scratch.
+func (p *Pool) scratchFor(i int) any {
+	if p.scratch == nil || i >= len(p.scratch) {
+		return nil
+	}
+	if p.scratch[i] == nil {
+		p.scratch[i] = p.opts.WorkerScratch()
+	}
+	return p.scratch[i]
+}
+
+// withScratch attaches slot i's scratch to ctx when the pool has one.
+func (p *Pool) withScratch(ctx context.Context, i int) context.Context {
+	if s := p.scratchFor(i); s != nil {
+		return context.WithValue(ctx, scratchKey{}, s)
+	}
+	return ctx
 }
 
 // Options returns the pool's configuration.
@@ -203,8 +249,9 @@ func (p *Pool) RunRound(ctx context.Context, round int, tasks []Task) []Result {
 	}
 
 	if p.opts.Sequential {
+		seqCtx := p.withScratch(runCtx, 0)
 		for _, i := range pending {
-			results[i] = runOne(runCtx, tasks[i], deadlineAt)
+			results[i] = runOne(seqCtx, tasks[i], deadlineAt)
 		}
 	} else {
 		p.runSharded(runCtx, tasks, pending, deadlineAt, results)
@@ -240,17 +287,18 @@ func (p *Pool) runSharded(ctx context.Context, tasks []Task, pending []int, dead
 	}
 	queues := dealQueues(tasks, pending, workers)
 	var wg sync.WaitGroup
-	for _, queue := range queues {
+	for qi, queue := range queues {
 		if len(queue) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(queue []int) {
+		go func(qi int, queue []int) {
 			defer wg.Done()
+			qctx := p.withScratch(ctx, qi)
 			for _, i := range queue {
-				results[i] = runOne(ctx, tasks[i], deadlineAt)
+				results[i] = runOne(qctx, tasks[i], deadlineAt)
 			}
-		}(queue)
+		}(qi, queue)
 	}
 	wg.Wait()
 }
@@ -334,8 +382,15 @@ func splitmix64(x uint64) uint64 {
 // memory pressure — is bounded regardless of n. fn must be safe to call
 // concurrently for distinct i.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(i, _ int) { fn(i) })
+}
+
+// EffectiveWorkers returns the number of goroutines ForEach/ForEachWorker
+// will actually use for n items and the given worker bound (0 means
+// GOMAXPROCS) — the size callers need for per-worker scratch pools.
+func EffectiveWorkers(n, workers int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -343,9 +398,21 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// ForEachWorker is ForEach with the executing worker's index passed to fn
+// (0 ≤ worker < EffectiveWorkers(n, workers)). A worker index is held by
+// exactly one goroutine per call, so fn may use it to address per-worker
+// scratch — a step-scoped arena, typically — without synchronisation.
+func ForEachWorker(n, workers int, fn func(i, worker int)) {
+	workers = EffectiveWorkers(n, workers)
+	if workers == 0 {
+		return
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -356,12 +423,12 @@ func ForEach(n, workers int, fn func(i int)) {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				fn(i)
+				fn(i, w)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }

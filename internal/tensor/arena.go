@@ -1,0 +1,238 @@
+package tensor
+
+import "fmt"
+
+// Arena is a step-scoped free-list allocator for tensor storage. Training
+// steps allocate the same set of buffer lengths every iteration (forward
+// activations, backward scratch, gradient buffers), so recycling buffers
+// by length turns the per-step allocation churn into a handful of pointer
+// bumps: the first step populates the free lists, every later step reuses
+// them, and Reset makes everything handed out since the previous Reset
+// available again.
+//
+// The contract is strictly step-scoped: a tensor obtained from an arena is
+// valid until the next Reset, after which its storage may be handed to a
+// later request. Values that outlive the step (model parameters, running
+// statistics, uploads) must be deep-copied out before Reset — exactly the
+// copies the federated runtime already makes.
+//
+// An Arena is NOT safe for concurrent use; every concurrent worker owns
+// its own arena (see sched.Options.WorkerScratch and ForEachWorker). The
+// nil *Arena is valid and falls back to plain heap allocation, so code can
+// thread an optional arena without branching at every call site.
+type Arena struct {
+	classes map[int]*arenaClass
+	views   []*Tensor // recycled header-only tensors for View
+	vnext   int
+	ints    map[int]*intClass
+}
+
+// arenaClass is the free list of one buffer length. Tensors before next
+// are in use (handed out since the last Reset); tensors at and after next
+// are free.
+type arenaClass struct {
+	ts   []*Tensor
+	next int
+}
+
+type intClass struct {
+	bufs [][]int
+	next int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{classes: make(map[int]*arenaClass), ints: make(map[int]*intClass)}
+}
+
+// Reset recycles every buffer handed out since the previous Reset. All
+// tensors and slices previously returned by the arena become invalid: they
+// may alias later allocations.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for _, c := range a.classes {
+		c.next = 0
+	}
+	for _, c := range a.ints {
+		c.next = 0
+	}
+	a.vnext = 0
+}
+
+// New returns a zero-filled tensor with the given shape, recycling a
+// same-length buffer when one is free. A nil arena allocates from the
+// heap, identically to package-level New.
+func (a *Arena) New(shape ...int) *Tensor {
+	t := a.NewRaw(shape...)
+	if a != nil {
+		// Fresh heap buffers are already zero; only recycled storage
+		// needs clearing, but NewRaw cannot tell the caller which case
+		// occurred, so clear unconditionally (a recycled buffer is the
+		// steady state).
+		t.Zero()
+	}
+	return t
+}
+
+// NewRaw is New without the zero fill: the returned tensor's contents are
+// unspecified. It exists for kernels that overwrite every element (matrix
+// multiplication outputs, gathered batches, filled noise), where clearing
+// first would be a wasted pass.
+func (a *Arena) NewRaw(shape ...int) *Tensor {
+	if a == nil {
+		return New(shape...)
+	}
+	n := checkShape(shape)
+	c := a.classes[n]
+	if c == nil {
+		c = &arenaClass{}
+		a.classes[n] = c
+	}
+	if c.next < len(c.ts) {
+		t := c.ts[c.next]
+		c.next++
+		t.shape = append(t.shape[:0], shape...)
+		return t
+	}
+	t := New(shape...)
+	c.ts = append(c.ts, t)
+	c.next++
+	return t
+}
+
+// NewLike returns a zero-filled tensor with t's shape — New without the
+// caller having to materialise a shape copy.
+func (a *Arena) NewLike(t *Tensor) *Tensor {
+	out := a.NewRawLike(t)
+	if a != nil {
+		out.Zero()
+	}
+	return out
+}
+
+// NewRawLike returns a tensor with t's shape and unspecified contents.
+func (a *Arena) NewRawLike(t *Tensor) *Tensor {
+	if a == nil {
+		return New(t.shape...)
+	}
+	n := len(t.data)
+	c := a.classes[n]
+	if c == nil {
+		c = &arenaClass{}
+		a.classes[n] = c
+	}
+	if c.next < len(c.ts) {
+		out := c.ts[c.next]
+		c.next++
+		out.shape = append(out.shape[:0], t.shape...)
+		return out
+	}
+	out := New(t.shape...)
+	c.ts = append(c.ts, out)
+	c.next++
+	return out
+}
+
+// Floats returns a zeroed scratch []float64 of length n, recycled like
+// tensor storage (it shares the same length-keyed free lists).
+func (a *Arena) Floats(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.New(n).data
+}
+
+// FloatsRaw is Floats without the zero fill.
+func (a *Arena) FloatsRaw(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	return a.NewRaw(n).data
+}
+
+// Ints returns an int scratch slice of length n with unspecified contents,
+// for index and label buffers that are fully overwritten.
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	c := a.ints[n]
+	if c == nil {
+		c = &intClass{}
+		a.ints[n] = c
+	}
+	if c.next < len(c.bufs) {
+		b := c.bufs[c.next]
+		c.next++
+		return b
+	}
+	b := make([]int, n)
+	c.bufs = append(c.bufs, b)
+	c.next++
+	return b
+}
+
+// View returns a tensor sharing t's storage under a new shape (the arena
+// analogue of Reshape), recycling the tensor header. The element count
+// must be preserved. Like every arena value, the view is only valid until
+// Reset.
+func (a *Arena) View(t *Tensor, shape ...int) *Tensor {
+	if a == nil {
+		return t.Reshape(shape...)
+	}
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot view %v (%d elems) as %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	var v *Tensor
+	if a.vnext < len(a.views) {
+		v = a.views[a.vnext]
+	} else {
+		v = &Tensor{}
+		a.views = append(a.views, v)
+	}
+	a.vnext++
+	v.data = t.data
+	v.shape = append(v.shape[:0], shape...)
+	return v
+}
+
+// ViewLike returns a view of t's storage under like's shape (the
+// arena-recycled analogue of t.Reshape(like.Shape()...)).
+func (a *Arena) ViewLike(t, like *Tensor) *Tensor {
+	if a == nil {
+		return t.Reshape(like.shape...)
+	}
+	return a.View(t, like.shape...)
+}
+
+// Held reports how many buffers the arena currently retains across all
+// free lists (in use plus free), an observability hook for tests and
+// memory accounting.
+func (a *Arena) Held() int {
+	if a == nil {
+		return 0
+	}
+	n := len(a.views)
+	for _, c := range a.classes {
+		n += len(c.ts)
+	}
+	for _, c := range a.ints {
+		n += len(c.bufs)
+	}
+	return n
+}
+
+// HeldBytes reports the total bytes of float64 storage the arena retains.
+func (a *Arena) HeldBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	var b int64
+	for n, c := range a.classes {
+		b += int64(n) * int64(len(c.ts)) * 8
+	}
+	return b
+}

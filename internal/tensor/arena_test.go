@@ -1,0 +1,88 @@
+package tensor
+
+import "testing"
+
+func TestArenaRecyclesByLength(t *testing.T) {
+	a := NewArena()
+	t1 := a.New(4, 8)
+	t1.Fill(3)
+	d1 := &t1.Data()[0]
+	if got := a.Held(); got != 1 {
+		t.Fatalf("Held = %d, want 1", got)
+	}
+	a.Reset()
+	t2 := a.New(8, 4) // same length, different shape: same buffer
+	if &t2.Data()[0] != d1 {
+		t.Fatal("arena did not recycle the same-length buffer after Reset")
+	}
+	for _, v := range t2.Data() {
+		if v != 0 {
+			t.Fatal("recycled New buffer not zeroed")
+		}
+	}
+	if got := t2.Dim(0); got != 8 {
+		t.Fatalf("recycled tensor shape not updated: dim0 = %d", got)
+	}
+	if got := a.Held(); got != 1 {
+		t.Fatalf("Held after recycle = %d, want 1", got)
+	}
+}
+
+func TestArenaDistinctBuffersWithinStep(t *testing.T) {
+	a := NewArena()
+	t1 := a.NewRaw(16)
+	t2 := a.NewRaw(16)
+	if &t1.Data()[0] == &t2.Data()[0] {
+		t.Fatal("two live allocations share a buffer")
+	}
+	i1 := a.Ints(5)
+	i2 := a.Ints(5)
+	i1[0], i2[0] = 1, 2
+	if i1[0] != 1 {
+		t.Fatal("two live int buffers alias")
+	}
+}
+
+func TestArenaViewSharesStorage(t *testing.T) {
+	a := NewArena()
+	base := a.New(2, 6)
+	v := a.View(base, 3, 4)
+	v.Set(7, 1, 1) // flat index 5
+	if got := base.At(0, 5); got != 7 {
+		t.Fatalf("view does not alias base: got %v", got)
+	}
+	if a.HeldBytes() != 2*6*8 {
+		t.Fatalf("HeldBytes = %d, want %d", a.HeldBytes(), 2*6*8)
+	}
+}
+
+func TestArenaNilFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	tt := a.New(3, 3)
+	if tt.Len() != 9 {
+		t.Fatal("nil arena New failed")
+	}
+	if got := a.Held(); got != 0 {
+		t.Fatalf("nil arena Held = %d", got)
+	}
+	a.Reset() // must not panic
+	if s := a.Ints(4); len(s) != 4 {
+		t.Fatal("nil arena Ints failed")
+	}
+	if v := a.ViewLike(tt, tt); v.Len() != 9 {
+		t.Fatal("nil arena ViewLike failed")
+	}
+}
+
+func TestArenaNewLikeMatchesShape(t *testing.T) {
+	a := NewArena()
+	proto := New(2, 3, 4)
+	got := a.NewLike(proto)
+	if !got.SameShape(proto) {
+		t.Fatalf("NewLike shape %v, want %v", got.Shape(), proto.Shape())
+	}
+	raw := a.NewRawLike(proto)
+	if !raw.SameShape(proto) {
+		t.Fatalf("NewRawLike shape %v, want %v", raw.Shape(), proto.Shape())
+	}
+}

@@ -1,0 +1,44 @@
+//go:build amd64
+
+package tensor
+
+// useSIMD gates the AVX axpy kernels. They vectorise across output
+// elements only — every element keeps its scalar accumulation chain
+// (dst + p0) + p1 + …, computed with plain MULPD/ADDPD (never FMA) — so
+// results are bit-identical to the pure-Go loops; TestAxpySIMDBitExact
+// pins that, tails, ±0, NaN and Inf included.
+var useSIMD = cpuHasAVX()
+
+// cpuHasAVX reports AVX support (CPUID feature flag plus OS XMM/YMM state
+// support via XGETBV). Implemented in axpy_amd64.s.
+func cpuHasAVX() bool
+
+// axpy1SIMD computes dst[j] += av * b[j] for j in [0, len(dst)).
+// len(b) must be at least len(dst).
+//
+//go:noescape
+func axpy1SIMD(dst, b []float64, av float64)
+
+// axpy4SIMD computes, for j in [0, len(dst)),
+//
+//	dst[j] = dst[j] + av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+//
+// with the additions associated left to right, exactly like the written
+// Go expression. Each b slice must be at least len(dst) long.
+//
+//go:noescape
+func axpy4SIMD(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+
+// dot2x4SIMD computes the eight inner products of a 2×4 matmul tile over
+// k = len(a0) terms (k must be a multiple of 4; callers pass the k&^3
+// prefix and finish the tail in scalar code):
+//
+//	out[4*r+j] = Σ_kk ar[kk] * bj[kk]   (kk ascending)
+//
+// The b operands are transposed 4×4 in registers so each accumulator lane
+// is one output element whose sum runs in plain ascending-k order —
+// bit-identical to the scalar dot product loops. All slices must have at
+// least len(a0) elements; out must have 8.
+//
+//go:noescape
+func dot2x4SIMD(a0, a1, b0, b1, b2, b3, out []float64)

@@ -1,0 +1,203 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX bit 27 (OSXSAVE) and bit 28 (AVX) must be set, and the OS
+// must have enabled XMM+YMM state saving (XCR0 bits 1 and 2).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  noavx
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpy1SIMD(dst, b []float64, av float64)
+//
+// dst[j] += av * b[j]. Vector lanes are independent output elements, so
+// the per-element operation (one multiply, one add) is identical to the
+// scalar loop.
+TEXT ·axpy1SIMD(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         b_base+24(FP), SI
+	VBROADCASTSD av+48(FP), Y0
+	XORQ         AX, AX
+	MOVQ         CX, DX
+	ANDQ         $-4, DX
+
+loop4:
+	CMPQ    AX, DX
+	JGE     tail
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (SI)(AX*8), Y5
+	VMULPD  Y0, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     loop4
+
+tail:
+	CMPQ  AX, CX
+	JGE   done
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X5
+	MULSD X0, X5
+	ADDSD X5, X4
+	MOVSD X4, (DI)(AX*8)
+	INCQ  AX
+	JMP   tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func dot2x4SIMD(a0, a1, b0, b1, b2, b3, out []float64)
+//
+// Eight simultaneous inner products over ascending k: four b streams are
+// loaded four elements at a time and transposed in registers, then each
+// k step broadcasts one a element per row and multiplies into the lane
+// accumulators — per output element the addition chain is the plain
+// sequential dot product.
+TEXT ·dot2x4SIMD(SB), NOSPLIT, $0-168
+	MOVQ   a0_base+0(FP), SI
+	MOVQ   a0_len+8(FP), CX
+	MOVQ   a1_base+24(FP), DI
+	MOVQ   b0_base+48(FP), R8
+	MOVQ   b1_base+72(FP), R9
+	MOVQ   b2_base+96(FP), R10
+	MOVQ   b3_base+120(FP), R11
+	MOVQ   out_base+144(FP), R12
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+	XORQ   AX, AX
+
+loop4:
+	CMPQ       AX, CX
+	JGE        done
+	VMOVUPD    (R8)(AX*8), Y4
+	VMOVUPD    (R9)(AX*8), Y5
+	VMOVUPD    (R10)(AX*8), Y6
+	VMOVUPD    (R11)(AX*8), Y7
+	VUNPCKLPD  Y5, Y4, Y8
+	VUNPCKHPD  Y5, Y4, Y9
+	VUNPCKLPD  Y7, Y6, Y12
+	VUNPCKHPD  Y7, Y6, Y13
+	VPERM2F128 $0x20, Y12, Y8, Y4
+	VPERM2F128 $0x20, Y13, Y9, Y5
+	VPERM2F128 $0x31, Y12, Y8, Y6
+	VPERM2F128 $0x31, Y13, Y9, Y7
+
+	VBROADCASTSD (SI)(AX*8), Y8
+	VMULPD       Y4, Y8, Y8
+	VADDPD       Y8, Y10, Y10
+	VBROADCASTSD (DI)(AX*8), Y9
+	VMULPD       Y4, Y9, Y9
+	VADDPD       Y9, Y11, Y11
+
+	VBROADCASTSD 8(SI)(AX*8), Y8
+	VMULPD       Y5, Y8, Y8
+	VADDPD       Y8, Y10, Y10
+	VBROADCASTSD 8(DI)(AX*8), Y9
+	VMULPD       Y5, Y9, Y9
+	VADDPD       Y9, Y11, Y11
+
+	VBROADCASTSD 16(SI)(AX*8), Y8
+	VMULPD       Y6, Y8, Y8
+	VADDPD       Y8, Y10, Y10
+	VBROADCASTSD 16(DI)(AX*8), Y9
+	VMULPD       Y6, Y9, Y9
+	VADDPD       Y9, Y11, Y11
+
+	VBROADCASTSD 24(SI)(AX*8), Y8
+	VMULPD       Y7, Y8, Y8
+	VADDPD       Y8, Y10, Y10
+	VBROADCASTSD 24(DI)(AX*8), Y9
+	VMULPD       Y7, Y9, Y9
+	VADDPD       Y9, Y11, Y11
+
+	ADDQ $4, AX
+	JMP  loop4
+
+done:
+	VMOVUPD Y10, (R12)
+	VMOVUPD Y11, 32(R12)
+	VZEROUPPER
+	RET
+
+// func axpy4SIMD(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+//
+// dst[j] = dst[j] + av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j], the
+// additions associated left to right — the same chain per element as the
+// written Go expression, so results are bit-identical.
+TEXT ·axpy4SIMD(SB), NOSPLIT, $0-152
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         b0_base+24(FP), SI
+	MOVQ         b1_base+48(FP), R8
+	MOVQ         b2_base+72(FP), R9
+	MOVQ         b3_base+96(FP), R10
+	VBROADCASTSD av0+120(FP), Y0
+	VBROADCASTSD av1+128(FP), Y1
+	VBROADCASTSD av2+136(FP), Y2
+	VBROADCASTSD av3+144(FP), Y3
+	XORQ         AX, AX
+	MOVQ         CX, DX
+	ANDQ         $-4, DX
+
+loop4:
+	CMPQ    AX, DX
+	JGE     tail
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD (SI)(AX*8), Y5
+	VMULPD  Y0, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD (R8)(AX*8), Y5
+	VMULPD  Y1, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD (R9)(AX*8), Y5
+	VMULPD  Y2, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD (R10)(AX*8), Y5
+	VMULPD  Y3, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+	JMP     loop4
+
+tail:
+	CMPQ  AX, CX
+	JGE   done
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X5
+	MULSD X0, X5
+	ADDSD X5, X4
+	MOVSD (R8)(AX*8), X5
+	MULSD X1, X5
+	ADDSD X5, X4
+	MOVSD (R9)(AX*8), X5
+	MULSD X2, X5
+	ADDSD X5, X4
+	MOVSD (R10)(AX*8), X5
+	MULSD X3, X5
+	ADDSD X5, X4
+	MOVSD X4, (DI)(AX*8)
+	INCQ  AX
+	JMP   tail
+
+done:
+	VZEROUPPER
+	RET

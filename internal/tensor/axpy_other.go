@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// useSIMD is false off amd64; the pure-Go loops in axpy.go are the only
+// implementation and the stubs below are never called.
+const useSIMD = false
+
+func axpy1SIMD(dst, b []float64, av float64) {
+	panic("tensor: axpy1SIMD without SIMD support")
+}
+
+func axpy4SIMD(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64) {
+	panic("tensor: axpy4SIMD without SIMD support")
+}
+
+func dot2x4SIMD(a0, a1, b0, b1, b2, b3, out []float64) {
+	panic("tensor: dot2x4SIMD without SIMD support")
+}

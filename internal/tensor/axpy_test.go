@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// axpyCases builds operand vectors covering tails (every length mod 4),
+// signed zeros, NaN, infinities and denormals.
+func axpyCases(t *testing.T, run func(n int, dst, b0, b1, b2, b3 []float64)) {
+	t.Helper()
+	specials := []float64{0, math.Copysign(0, -1), 1.5, -2.25, math.Inf(1), math.Inf(-1), math.NaN(), 5e-324, -5e-324, 1e308}
+	rng := NewRand(99)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		mk := func() []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				if i%3 == 0 {
+					v[i] = specials[(i/3)%len(specials)]
+				} else {
+					v[i] = rng.NormFloat64()
+				}
+			}
+			return v
+		}
+		run(n, mk(), mk(), mk(), mk(), mk())
+	}
+}
+
+func bitsEq(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d: %x (%v) != %x (%v)",
+				what, i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestAxpySIMDBitExact pins the SIMD axpy kernels to the scalar loops bit
+// for bit, specials and tail lengths included. On platforms without SIMD
+// support the dispatchers are the scalar loops and the test is trivially
+// green.
+func TestAxpySIMDBitExact(t *testing.T) {
+	for _, av := range []float64{0, math.Copysign(0, -1), 2.5, -1, math.Inf(1), math.NaN()} {
+		axpyCases(t, func(n int, dst, b0, _, _, _ []float64) {
+			want := append([]float64(nil), dst...)
+			for j, bv := range b0 {
+				want[j] += av * bv
+			}
+			axpyRow(dst, av, b0)
+			bitsEq(t, "axpy1", dst, want)
+		})
+	}
+	axpyCases(t, func(n int, dst, b0, b1, b2, b3 []float64) {
+		av0, av1, av2, av3 := 1.25, -0.5, 3e-3, -7.75
+		want := append([]float64(nil), dst...)
+		for j := range want {
+			want[j] = want[j] + av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+		}
+		axpy4Rows(dst, b0, b1, b2, b3, av0, av1, av2, av3)
+		bitsEq(t, "axpy4", dst, want)
+	})
+}
+
+// TestZeroAddIntoNegZero pins the fused first-accumulation semantics: a
+// fresh (conceptually zero) gradient buffer accumulating g must behave as
+// 0 + g, which flips -0 to +0 — exactly what the historical zero-fill
+// followed by += produced.
+func TestZeroAddIntoNegZero(t *testing.T) {
+	src := FromSlice([]float64{math.Copysign(0, -1), 0, -1, math.NaN()}, 4)
+	dst := FromSlice([]float64{7, 7, 7, 7}, 4)
+	ZeroAddInto(dst, src)
+	if math.Signbit(dst.Data()[0]) {
+		t.Fatal("ZeroAddInto kept -0; want +0 (0 + -0)")
+	}
+	if dst.Data()[1] != 0 || dst.Data()[2] != -1 || !math.IsNaN(dst.Data()[3]) {
+		t.Fatalf("ZeroAddInto values wrong: %v", dst.Data())
+	}
+}

@@ -60,11 +60,23 @@ func Scale(s float64, a *Tensor) *Tensor {
 	return out
 }
 
-// AddInto accumulates src into dst: dst += src.
-func AddInto(dst, src *Tensor) {
-	checkSame("AddInto", dst, src)
+// AccumInto accumulates src into dst: dst += src.
+func AccumInto(dst, src *Tensor) {
+	checkSame("AccumInto", dst, src)
 	for i, v := range src.data {
 		dst.data[i] += v
+	}
+}
+
+// ZeroAddInto overwrites dst with 0 + src, elementwise. It fuses the
+// zero-fill-then-accumulate pattern of a gradient buffer's first
+// accumulation into one pass; the explicit 0 + x keeps IEEE semantics
+// (0 + (-0) is +0), so the result is bit-identical to clearing dst first
+// and then accumulating — pinned by TestZeroAddIntoNegZero.
+func ZeroAddInto(dst, src *Tensor) {
+	checkSame("ZeroAddInto", dst, src)
+	for i, v := range src.data {
+		dst.data[i] = 0 + v
 	}
 }
 
@@ -73,6 +85,82 @@ func AxpyInto(dst *Tensor, alpha float64, src *Tensor) {
 	checkSame("AxpyInto", dst, src)
 	for i, v := range src.data {
 		dst.data[i] += alpha * v
+	}
+}
+
+// MulAccInto accumulates the elementwise product: dst += a ⊙ b. It is the
+// fused form of the Mul-then-AccumInto pattern of autodiff backward
+// passes and produces bit-identical results (each element contributes one
+// product and one addition either way).
+func MulAccInto(dst, a, b *Tensor) {
+	checkSame("MulAccInto", dst, a)
+	checkSame("MulAccInto", a, b)
+	for i, v := range a.data {
+		dst.data[i] += v * b.data[i]
+	}
+}
+
+// AddInto writes a + b elementwise into dst (which may alias a or b).
+func AddInto(dst, a, b *Tensor) {
+	checkSame("AddInto", dst, a)
+	checkSame("AddInto", a, b)
+	for i, v := range a.data {
+		dst.data[i] = v + b.data[i]
+	}
+}
+
+// SubInto writes a - b elementwise into dst (which may alias a or b).
+func SubInto(dst, a, b *Tensor) {
+	checkSame("SubInto", dst, a)
+	checkSame("SubInto", a, b)
+	for i, v := range a.data {
+		dst.data[i] = v - b.data[i]
+	}
+}
+
+// MulInto writes a * b elementwise into dst (which may alias a or b).
+func MulInto(dst, a, b *Tensor) {
+	checkSame("MulInto", dst, a)
+	checkSame("MulInto", a, b)
+	for i, v := range a.data {
+		dst.data[i] = v * b.data[i]
+	}
+}
+
+// ScaleInto writes s * a into dst (which may alias a).
+func ScaleInto(dst *Tensor, s float64, a *Tensor) {
+	checkSame("ScaleInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = s * v
+	}
+}
+
+// ApplyInto writes f applied elementwise to a into dst (which may alias a).
+func ApplyInto(dst, a *Tensor, f func(float64) float64) {
+	checkSame("ApplyInto", dst, a)
+	for i, v := range a.data {
+		dst.data[i] = f(v)
+	}
+}
+
+// SumRowsAccInto treats a as (rows x cols) and accumulates the per-column
+// sums into dst (length cols): dst[c] += Σ_r a[r,c]. Each column's sum is
+// formed in ascending row order before the single accumulation, matching
+// SumRows followed by AccumInto bit for bit.
+func SumRowsAccInto(dst, a *Tensor) {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SumRowsAccInto wants a 2-D tensor, got shape %v", a.shape))
+	}
+	rows, cols := a.shape[0], a.shape[1]
+	if dst.Len() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsAccInto dst length %d, want %d", dst.Len(), cols))
+	}
+	for c := 0; c < cols; c++ {
+		s := 0.0
+		for r := 0; r < rows; r++ {
+			s += a.data[r*cols+c]
+		}
+		dst.data[c] += s
 	}
 }
 

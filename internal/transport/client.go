@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
@@ -84,6 +85,9 @@ func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset,
 		return nil, nil, err
 	}
 	dev := fed.NewDevice(welcome.DeviceID, cfg.Arch, m, data.NewSubset(ds, asn.Indices))
+	// The connection loop is single-goroutine, so one step-scoped arena
+	// serves every training round of this device's lifetime.
+	dev.Scratch = ag.NewArena()
 
 	// The server dictates the federation's state codec; every state the
 	// device puts on the wire is encoded with it.

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks and emit a machine-readable
+# summary so the performance trajectory is tracked from PR 5 on.
+#
+# Usage:
+#   ./scripts/bench.sh              # writes BENCH_5.json in the repo root
+#   ./scripts/bench.sh out.json     # explicit output path
+#   BENCHTIME=3x ./scripts/bench.sh # cheaper run (default 8x)
+#
+# The JSON is a flat object: run metadata plus one entry per benchmark
+# with ns/op, B/op and allocs/op, ready for jq / CI trend tooling:
+#   jq '.benchmarks[] | {name, ns_per_op}' BENCH_5.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+BENCHTIME="${BENCHTIME:-8x}"
+PATTERN='BenchmarkServerDistill100FullEnsemble|BenchmarkServerDistill100Teachers8|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
+    -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	iters = $2; ns = $3
+	bytes = "null"; allocs = "null"
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	entries[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, bytes, allocs)
+}
+END {
+	printf "{\n"
+	printf "  \"schema\": \"fedzkt-bench/1\",\n"
+	printf "  \"pr\": 5,\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"git\": \"%s\",\n", rev
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+	printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
