@@ -36,6 +36,7 @@ func run(args []string) error {
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7700", "server TCP address")
 		arch      = fs.String("arch", "cnn", "on-device model architecture")
+		reconnect = fs.Bool("reconnect", false, "survive connection losses by resuming the session")
 		listArchs = fs.Bool("list-archs", false, "list available architectures and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,10 +54,15 @@ func run(args []string) error {
 
 	fmt.Printf("connecting to %s as %q...\n", *addr, *arch)
 	m, ds, err := transport.RunDevice(ctx, transport.DeviceConfig{
-		Addr: *addr,
-		Arch: *arch,
+		Addr:      *addr,
+		Arch:      *arch,
+		Reconnect: *reconnect,
 		Progress: func(round int, loss float64) {
 			fmt.Printf("round %2d: local training loss %.4f\n", round, loss)
+		},
+		OnRoundSummary: func(s transport.RoundSummary) {
+			fmt.Printf("round %2d: server absorbed %d uploads (%d late, %d dropped), global acc %.4f\n",
+				s.Round, s.Absorbed, s.Late, s.Dropped, s.GlobalAcc)
 		},
 	})
 	if err != nil {

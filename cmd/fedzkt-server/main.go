@@ -33,16 +33,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedzkt-server", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7700", "TCP listen address")
-		devices  = fs.Int("devices", 2, "number of devices to wait for")
-		dataset  = fs.String("dataset", "synthmnist", "synthetic dataset name")
-		rounds   = fs.Int("rounds", 5, "communication rounds")
-		epochs   = fs.Int("epochs", 2, "local epochs per round")
-		distill  = fs.Int("distill", 16, "server distillation iterations per phase")
-		batch    = fs.Int("batch", 16, "batch size (device and distillation)")
-		fraction = fs.Float64("p", 1.0, "active device fraction per round (stragglers)")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		perClass = fs.Int("per-class", 30, "training samples per class")
+		addr      = fs.String("addr", "127.0.0.1:7700", "TCP listen address")
+		devices   = fs.Int("devices", 2, "number of devices to wait for")
+		dataset   = fs.String("dataset", "synthmnist", "synthetic dataset name")
+		rounds    = fs.Int("rounds", 5, "communication rounds")
+		epochs    = fs.Int("epochs", 2, "local epochs per round")
+		distill   = fs.Int("distill", 16, "server distillation iterations per phase")
+		batch     = fs.Int("batch", 16, "batch size (device and distillation)")
+		fraction  = fs.Float64("p", 1.0, "active device fraction per round (stragglers)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		perClass  = fs.Int("per-class", 30, "training samples per class")
+		part      = fs.String("partition", "iid", "data partition regime: iid, quantity:<c>, dirichlet:<beta>")
+		minUp     = fs.Int("min-uploads", 0, "round quorum: min uploads before distilling without stragglers (0 = all active devices)")
+		upDeadl   = fs.Duration("upload-deadline", 0, "per-round upload collection deadline (0 = IO timeout)")
+		staleness = fs.Int("staleness-bound", 0, "rounds a late upload may lag and still be absorbed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +57,7 @@ func run(args []string) error {
 		NumDevices:  *devices,
 		DatasetName: *dataset,
 		Sizes:       data.Sizes{TrainPerClass: *perClass, TestPerClass: maxInt(*perClass/3, 2)},
+		Partition:   *part,
 		Fed: fedzkt.Config{
 			Rounds:         *rounds,
 			LocalEpochs:    *epochs,
@@ -67,6 +72,9 @@ func run(args []string) error {
 			ActiveFraction: *fraction,
 			Seed:           *seed,
 		},
+		MinUploads:     *minUp,
+		UploadDeadline: *upDeadl,
+		StalenessBound: *staleness,
 	})
 	if err != nil {
 		return err
@@ -78,10 +86,17 @@ func run(args []string) error {
 
 	hist, err := srv.Run(ctx)
 	for _, m := range hist {
-		fmt.Printf("round %2d: global acc %.4f | up %6.1f KiB | down %6.1f KiB | ∥∇x∥ %.3g | %s\n",
+		fmt.Printf("round %2d: global acc %.4f | absorbed %d late %d dropped %d | up %6.1f KiB | down %6.1f KiB | ∥∇x∥ %.3g | %s\n",
 			m.Round, m.GlobalAcc,
+			m.Absorbed, m.LateAbsorbed, m.DroppedUploads,
 			float64(m.BytesUp)/1024, float64(m.BytesDown)/1024,
 			m.InputGradNorm, m.Elapsed.Round(1e6))
+	}
+	for _, st := range srv.SessionStats() {
+		if st.Resumes > 0 || st.Duplicates > 0 {
+			fmt.Printf("device %d (%s): %d resumes, %d duplicate uploads discarded\n",
+				st.ID, st.Arch, st.Resumes, st.Duplicates)
+		}
 	}
 	return err
 }

@@ -5,6 +5,11 @@
 // parameters cross the wire; the synthetic data is reconstructed locally
 // from the seed in the assignment.
 //
+// The run uses the fault-tolerant session options: rounds close on a
+// quorum of uploads instead of waiting for every device, an upload
+// arriving a round late is still absorbed (bounded staleness), and the
+// devices reconnect and resume their sessions if a connection drops.
+//
 //	go run ./examples/distributed
 package main
 
@@ -32,6 +37,12 @@ func main() {
 			DeviceLR: 0.05, ServerLR: 0.05, GenLR: 3e-4, Momentum: 0.9, Seed: 99,
 		},
 		IOTimeout: time.Minute,
+		// Quorum rounds: distill once 2 of the 3 active devices uploaded
+		// and the collection deadline passed; a device at most one round
+		// behind still gets its work absorbed.
+		MinUploads:     2,
+		UploadDeadline: 30 * time.Second,
+		StalenessBound: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -47,8 +58,9 @@ func main() {
 		go func(i int, arch string) {
 			defer wg.Done()
 			m, ds, err := transport.RunDevice(ctx, transport.DeviceConfig{
-				Addr: srv.Addr(),
-				Arch: arch,
+				Addr:      srv.Addr(),
+				Arch:      arch,
+				Reconnect: true, // resume the session if the connection drops
 				Progress: func(round int, loss float64) {
 					fmt.Printf("  device %d (%s) round %d: loss %.3f\n", i+1, arch, round, loss)
 				},
@@ -66,9 +78,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nround | global acc | wire up KiB | wire down KiB")
+	fmt.Println("\nround | global acc | absorbed | late | dropped | wire up KiB | wire down KiB")
 	for _, m := range hist {
-		fmt.Printf("%5d | %10.4f | %11.1f | %13.1f\n",
-			m.Round, m.GlobalAcc, float64(m.BytesUp)/1024, float64(m.BytesDown)/1024)
+		fmt.Printf("%5d | %10.4f | %8d | %4d | %7d | %11.1f | %13.1f\n",
+			m.Round, m.GlobalAcc, m.Absorbed, m.LateAbsorbed, m.DroppedUploads,
+			float64(m.BytesUp)/1024, float64(m.BytesDown)/1024)
+	}
+	for _, st := range srv.SessionStats() {
+		fmt.Printf("device %d (%s): %d resumes | wire %0.1f KiB up, %0.1f KiB down\n",
+			st.ID, st.Arch, st.Resumes, float64(st.BytesUp)/1024, float64(st.BytesDown)/1024)
 	}
 }

@@ -44,6 +44,19 @@ type RoundMetrics struct {
 	// Injected lists sampled devices lost to scheduler failure injection
 	// this round (their local phase never ran).
 	Injected []int
+	// Absorbed counts fresh current-round uploads the server absorbed.
+	// (Not part of Fingerprint: it is derivable from Active minus
+	// Dropped/Injected in the simulator, and the networked transport's
+	// quorum rounds report it for observability.)
+	Absorbed int
+	// LateAbsorbed counts stale uploads — from earlier rounds, within the
+	// transport's staleness bound — absorbed into the next teacher window
+	// during this round. Always 0 in the in-process simulator.
+	LateAbsorbed int
+	// DroppedUploads counts uploads discarded during this round: staler
+	// than the staleness bound, duplicates of rounds already absorbed, or
+	// payloads that failed validation. Always 0 in the simulator.
+	DroppedUploads int
 	// BytesUp and BytesDown count payload bytes uploaded by and downloaded
 	// to devices this round.
 	BytesUp, BytesDown int64

@@ -460,6 +460,7 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		if err := c.absorbUploads(completed, uploads); err != nil {
 			return hist, err
 		}
+		m.Absorbed = len(completed)
 
 		// 3. Server update (Algorithm 3).
 		serverStart := time.Now()

@@ -106,6 +106,7 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 			}
 			m := ub.m
 			m.UploadStall = time.Since(waitStart)
+			m.Absorbed = len(ub.completed)
 			if err := c.absorbUploads(ub.completed, ub.uploads); err != nil {
 				serverErr = err
 				cancel()

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -22,12 +24,31 @@ type DeviceConfig struct {
 	// Arch is the on-device architecture this device chooses for itself
 	// (the heart of FedZKT: the server adapts, not the device).
 	Arch string
-	// DialTimeout bounds the initial connection attempt.
+	// DialTimeout bounds each connection attempt.
 	DialTimeout time.Duration
-	// IOTimeout bounds each read or write.
+	// IOTimeout bounds active transfers: every write, and the handshake
+	// reads of registration and resume. The idle wait for the next server
+	// message is NOT bounded by it — a device that is not sampled for
+	// many rounds, or waits out a long server distillation phase, sits on
+	// an unbounded read instead of dying of a spurious timeout.
 	IOTimeout time.Duration
 	// Progress, when non-nil, receives a line per round (for the CLI).
 	Progress func(round int, trainLoss float64)
+	// OnRoundSummary, when non-nil, receives the server's per-round
+	// summary broadcasts.
+	OnRoundSummary func(RoundSummary)
+	// Reconnect enables the fault-tolerant session loop: when the
+	// connection drops, the device redials with jittered exponential
+	// backoff, presents its resume token, replays its last
+	// unacknowledged upload, and carries on mid-round.
+	Reconnect bool
+	// MaxRetries bounds consecutive failed reconnect attempts before the
+	// device gives up (default 8; the counter resets after a successful
+	// resume).
+	MaxRetries int
+	// ReconnectBase is the initial backoff delay (default 100ms, doubled
+	// per consecutive failure, capped at 5s, with ±50% jitter).
+	ReconnectBase time.Duration
 }
 
 func (c DeviceConfig) withDefaults() DeviceConfig {
@@ -40,111 +61,290 @@ func (c DeviceConfig) withDefaults() DeviceConfig {
 	if c.IOTimeout == 0 {
 		c.IOTimeout = 5 * time.Minute
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.ReconnectBase == 0 {
+		c.ReconnectBase = 100 * time.Millisecond
+	}
 	return c
+}
+
+// errDone signals the server's clean MsgDone shutdown internally.
+var errDone = errors.New("transport: done")
+
+// pendingUpload is the device's replay buffer: its last upload until the
+// server acknowledges it. Replayed on resume, so an upload whose ack was
+// lost to a disconnect still reaches the server exactly once (the server
+// deduplicates by round).
+type pendingUpload struct {
+	round   int
+	payload []byte
+}
+
+// deviceSession is the device-side session state that survives
+// reconnects: the assignment, the local world built from it, the resume
+// token, and the replay buffer.
+type deviceSession struct {
+	cfg   DeviceConfig
+	id    int
+	token []byte
+	asn   *Assignment
+	ds    *data.Dataset
+	m     nn.Module
+	dev   *fed.Device
+	cdc   codec.Codec
+
+	lastTrained int // highest round already trained (dedups re-sent train requests)
+	pending     *pendingUpload
 }
 
 // RunDevice connects to the server, registers, and participates in the
 // federated rounds until the server sends MsgDone or ctx is cancelled. It
 // returns the device's final model and its shard-local view of the data
-// (useful for post-run evaluation by the caller).
+// (useful for post-run evaluation by the caller). With cfg.Reconnect set
+// it survives connection losses by resuming its session.
 func RunDevice(ctx context.Context, cfg DeviceConfig) (nn.Module, *data.Dataset, error) {
 	cfg = cfg.withDefaults()
+	conn, err := dial(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := register(conn, cfg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+
+	for {
+		err := sess.serve(ctx, conn)
+		_ = conn.Close()
+		switch {
+		case errors.Is(err, errDone):
+			return sess.m, sess.ds, nil
+		case ctx.Err() != nil:
+			return sess.m, sess.ds, fmt.Errorf("transport: device cancelled: %w", ctx.Err())
+		case !cfg.Reconnect:
+			return sess.m, sess.ds, err
+		case errors.Is(err, errServerReject):
+			// The server refused us explicitly; retrying is pointless.
+			return sess.m, sess.ds, err
+		}
+		conn, err = sess.reconnect(ctx)
+		if err != nil {
+			return sess.m, sess.ds, err
+		}
+	}
+}
+
+// dial opens one connection attempt.
+func dial(ctx context.Context, cfg DeviceConfig) (net.Conn, error) {
 	dialer := net.Dialer{Timeout: cfg.DialTimeout}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
+		return nil, fmt.Errorf("transport: dial %s: %w", cfg.Addr, err)
 	}
-	defer conn.Close()
-	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
-	defer stop()
+	return conn, nil
+}
 
+// register performs the Hello → Welcome → InitState handshake and builds
+// the device's local world from the assignment.
+func register(conn net.Conn, cfg DeviceConfig) (*deviceSession, error) {
 	deadline := func() { _ = conn.SetDeadline(time.Now().Add(cfg.IOTimeout)) }
 
-	// 1. Hello → Welcome: learn the assignment.
+	// 1. Hello → Welcome: learn the assignment and the resume token.
 	deadline()
 	if err := WriteMessage(conn, &Message{Type: MsgHello, Arch: cfg.Arch}); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	welcome, err := expect(conn, MsgWelcome)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	asn, err := DecodeAssignment(welcome.Payload)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// 2. Reconstruct the local world: dataset (synthetic and seeded, so no
 	// bulk data crosses the wire), shard, and model.
 	ds, ok := data.ByName(asn.DatasetName, asn.Sizes, asn.DataSeed)
 	if !ok {
-		return nil, nil, fmt.Errorf("transport: server assigned unknown dataset %q", asn.DatasetName)
+		return nil, fmt.Errorf("transport: server assigned unknown dataset %q", asn.DatasetName)
 	}
 	m, err := model.Build(cfg.Arch, model.Shape{C: ds.C, H: ds.H, W: ds.W}, ds.Classes, tensor.NewRand(asn.ModelSeed))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	dev := fed.NewDevice(welcome.DeviceID, cfg.Arch, m, data.NewSubset(ds, asn.Indices))
-	// The connection loop is single-goroutine, so one step-scoped arena
-	// serves every training round of this device's lifetime.
+	// The round loop is single-goroutine for the device's lifetime, so
+	// one step-scoped arena serves every training round.
 	dev.Scratch = ag.NewArena()
 
 	// The server dictates the federation's state codec; every state the
 	// device puts on the wire is encoded with it.
 	cdc, err := codec.Get(asn.StateCodec)
 	if err != nil {
-		return nil, nil, fmt.Errorf("transport: server assigned %w", err)
+		return nil, fmt.Errorf("transport: server assigned %w", err)
+	}
+
+	sess := &deviceSession{
+		cfg: cfg, id: welcome.DeviceID, token: welcome.Token,
+		asn: asn, ds: ds, m: m, dev: dev, cdc: cdc,
 	}
 
 	// 3. Send the initial state for replica registration.
 	initPayload, _, err := dev.UploadPayload(cdc)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	deadline()
-	if err := WriteMessage(conn, &Message{Type: MsgInitState, DeviceID: welcome.DeviceID, Payload: initPayload}); err != nil {
-		return nil, nil, err
+	if err := WriteMessage(conn, &Message{Type: MsgInitState, DeviceID: sess.id, Payload: initPayload}); err != nil {
+		return nil, err
 	}
+	_ = conn.SetDeadline(time.Time{})
+	return sess, nil
+}
 
-	// 4. Round loop: train on request, upload, absorb the download.
+// errServerReject marks an explicit MsgError from the server — a
+// terminal condition the reconnect loop must not retry.
+var errServerReject = errors.New("transport: server error")
+
+// serve runs the round loop on one connection until it dies, the server
+// finishes (errDone), or the server rejects us. Idle waits read without
+// a deadline; only writes carry the IO timeout.
+func (s *deviceSession) serve(ctx context.Context, conn net.Conn) error {
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+	writeDeadline := func() { _ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout)) }
+
 	for {
-		deadline()
+		// Idle wait: deliberately unbounded. A device that is not sampled
+		// for longer than any fixed timeout must keep its session alive.
+		_ = conn.SetReadDeadline(time.Time{})
 		msg, err := ReadMessage(conn)
 		if err != nil {
-			if ctx.Err() != nil {
-				return m, ds, fmt.Errorf("transport: device cancelled: %w", ctx.Err())
-			}
-			return m, ds, err
+			return err
 		}
 		switch msg.Type {
 		case MsgTrainRequest:
-			rng := tensor.NewRand(asn.DataSeed ^ (uint64(msg.Round)<<20 + uint64(welcome.DeviceID)<<4 + 0x5EED))
-			loss, err := dev.LocalUpdate(asn.Local, rng)
+			if msg.Round <= s.lastTrained {
+				// The server re-sends the current round's request on
+				// resume when in doubt; training the same round twice
+				// would only produce a duplicate upload.
+				continue
+			}
+			rng := tensor.NewRand(s.asn.DataSeed ^ (uint64(msg.Round)<<20 + uint64(s.id)<<4 + 0x5EED))
+			loss, err := s.dev.LocalUpdate(s.asn.Local, rng)
 			if err != nil {
+				writeDeadline()
 				_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
-				return m, ds, err
+				return err
 			}
-			if cfg.Progress != nil {
-				cfg.Progress(msg.Round, loss)
+			s.lastTrained = msg.Round
+			if s.cfg.Progress != nil {
+				s.cfg.Progress(msg.Round, loss)
 			}
-			payload, _, err := dev.UploadPayload(cdc)
+			payload, _, err := s.dev.UploadPayload(s.cdc)
 			if err != nil {
-				return m, ds, err
+				return err
 			}
-			deadline()
-			if err := WriteMessage(conn, &Message{Type: MsgUpload, Round: msg.Round, DeviceID: welcome.DeviceID, Payload: payload}); err != nil {
-				return m, ds, err
+			s.pending = &pendingUpload{round: msg.Round, payload: payload}
+			writeDeadline()
+			if err := WriteMessage(conn, &Message{Type: MsgUpload, Round: msg.Round, DeviceID: s.id, Payload: payload}); err != nil {
+				return err
+			}
+		case MsgUploadAck:
+			if s.pending != nil && s.pending.round == msg.Round {
+				s.pending = nil
 			}
 		case MsgDownload:
-			if err := dev.DownloadPayload(msg.Payload); err != nil {
-				return m, ds, err
+			if err := s.dev.DownloadPayload(msg.Payload); err != nil {
+				return err
+			}
+		case MsgRoundSummary:
+			if s.cfg.OnRoundSummary != nil {
+				summary, err := DecodeRoundSummary(msg.Payload)
+				if err != nil {
+					return err
+				}
+				s.cfg.OnRoundSummary(*summary)
 			}
 		case MsgDone:
-			return m, ds, nil
+			return errDone
 		case MsgError:
-			return m, ds, fmt.Errorf("transport: server error: %s", msg.Reason)
+			return fmt.Errorf("%w: %s", errServerReject, msg.Reason)
 		default:
-			return m, ds, fmt.Errorf("transport: unexpected message %v", msg.Type)
+			return fmt.Errorf("transport: unexpected message %v", msg.Type)
 		}
 	}
+}
+
+// reconnect redials with jittered exponential backoff and resumes the
+// session: present the token, then replay the pending unacknowledged
+// upload so no trained round is lost to a dropped connection.
+func (s *deviceSession) reconnect(ctx context.Context) (net.Conn, error) {
+	delay := s.cfg.ReconnectBase
+	const maxDelay = 5 * time.Second
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.MaxRetries; attempt++ {
+		// ±50% jitter decorrelates reconnect stampedes after a server
+		// blip takes many devices down at once.
+		jittered := time.Duration(float64(delay) * (0.5 + rand.Float64()))
+		select {
+		case <-time.After(jittered):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: device cancelled: %w", ctx.Err())
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+
+		conn, err := s.resumeOnce(ctx)
+		if err == nil {
+			return conn, nil
+		}
+		if errors.Is(err, errServerReject) || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: resume failed after %d attempts: %w", s.cfg.MaxRetries, lastErr)
+}
+
+// resumeOnce performs one dial + resume handshake + replay.
+func (s *deviceSession) resumeOnce(ctx context.Context) (net.Conn, error) {
+	conn, err := dial(ctx, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (net.Conn, error) {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.IOTimeout))
+	pendingRound := 0
+	if s.pending != nil {
+		pendingRound = s.pending.round
+	}
+	if err := WriteMessage(conn, &Message{Type: MsgResume, DeviceID: s.id, Token: s.token, Round: pendingRound}); err != nil {
+		return fail(err)
+	}
+	ack, err := ReadMessage(conn)
+	if err != nil {
+		return fail(err)
+	}
+	if ack.Type == MsgError {
+		return fail(fmt.Errorf("%w: %s", errServerReject, ack.Reason))
+	}
+	if ack.Type != MsgResumeAck {
+		return fail(fmt.Errorf("transport: expected resume-ack, got %v", ack.Type))
+	}
+	if s.pending != nil {
+		if err := WriteMessage(conn, &Message{Type: MsgUpload, Round: s.pending.round, DeviceID: s.id, Payload: s.pending.payload}); err != nil {
+			return fail(err)
+		}
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
 }

@@ -43,6 +43,20 @@ const (
 	MsgDone
 	// MsgError (either direction) aborts with a reason.
 	MsgError
+	// MsgResume (device→server) re-joins an existing session after a
+	// disconnect: DeviceID plus the signed Token issued at registration.
+	// Round carries the device's pending unacknowledged upload round (0
+	// when it has none), so the server knows whether a replay follows.
+	MsgResume
+	// MsgResumeAck (server→device) confirms a successful session resume.
+	MsgResumeAck
+	// MsgUploadAck (server→device) acknowledges that the upload for Round
+	// has been received (absorbed, or deduplicated/dropped — either way
+	// the device may discard its replay buffer for that round).
+	MsgUploadAck
+	// MsgRoundSummary (server→device) reports how a finished round went:
+	// the Payload carries an encoded RoundSummary.
+	MsgRoundSummary
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +78,14 @@ func (t MsgType) String() string {
 		return "done"
 	case MsgError:
 		return "error"
+	case MsgResume:
+		return "resume"
+	case MsgResumeAck:
+		return "resume-ack"
+	case MsgUploadAck:
+		return "upload-ack"
+	case MsgRoundSummary:
+		return "round-summary"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -77,11 +99,51 @@ type Message struct {
 	Arch     string
 	// Reason carries the error description for MsgError.
 	Reason string
+	// Token carries the session resume token: issued by the server in
+	// MsgWelcome, presented back by the device in MsgResume.
+	Token []byte
 	// Payload carries a state payload in the codec container format
-	// (MsgInitState, MsgUpload, MsgDownload) or an encoded Assignment
-	// (MsgWelcome). State containers are self-describing, so the receiver
-	// never needs out-of-band dtype knowledge.
+	// (MsgInitState, MsgUpload, MsgDownload), an encoded Assignment
+	// (MsgWelcome), or an encoded RoundSummary (MsgRoundSummary). State
+	// containers are self-describing, so the receiver never needs
+	// out-of-band dtype knowledge.
 	Payload []byte
+}
+
+// RoundSummary is the per-round report the server broadcasts to attached
+// devices after each round completes (MsgRoundSummary).
+type RoundSummary struct {
+	// Round is the 1-based round the summary describes.
+	Round int
+	// Absorbed counts fresh current-round uploads absorbed this round.
+	Absorbed int
+	// Late counts stale uploads (from earlier rounds, within the
+	// staleness bound) absorbed into the next teacher window this round.
+	Late int
+	// Dropped counts uploads discarded this round: staler than the bound,
+	// or duplicates of rounds already absorbed.
+	Dropped int
+	// GlobalAcc is the server global model's test accuracy after the
+	// round's distillation.
+	GlobalAcc float64
+}
+
+// EncodeRoundSummary serialises a RoundSummary for MsgRoundSummary.
+func EncodeRoundSummary(s *RoundSummary) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("transport: encoding round summary: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRoundSummary parses a MsgRoundSummary payload.
+func DecodeRoundSummary(b []byte) (*RoundSummary, error) {
+	var s RoundSummary
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("transport: decoding round summary: %w", err)
+	}
+	return &s, nil
 }
 
 // Assignment tells a device how to reconstruct its local view of the
