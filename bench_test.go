@@ -11,6 +11,7 @@ package fedzkt_test
 
 import (
 	"context"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/sched"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
@@ -185,13 +187,20 @@ func BenchmarkAblationGeneratorSweep(b *testing.B) {
 // full-ensemble mode; positive values sample that many teachers per
 // distillation iteration and transfer back into a same-sized rotating
 // replica window — the cohort subsystem's O(devices) → O(T) server-phase
-// reduction under measurement.
-func benchDistillServer(b *testing.B, teachersPerIter int) {
+// reduction under measurement. sequential pins the whole server phase to
+// one core — serial teacher fan-out and a width-1 kernel executor — so
+// the Serial/parallel pair measures the kernel-tier-2 speedup directly.
+func benchDistillServer(b *testing.B, teachersPerIter int, sequential bool) {
 	b.Helper()
+	if sequential {
+		tensor.SetParallel(sched.NewGang(1))
+		defer tensor.SetParallel(sched.NewGang(runtime.GOMAXPROCS(0)))
+	}
 	cfg := fedzkt.Config{
 		Rounds: 1, DistillIters: 2, StudentSteps: 1,
 		DistillBatch: 16, ZDim: 8,
 		TeachersPerIter: teachersPerIter,
+		Sequential:      sequential,
 	}
 	srv, err := fedzkt.NewServer(cfg, fedzkt.Shape{C: 1, H: 8, W: 8}, 4)
 	if err != nil {
@@ -214,13 +223,38 @@ func benchDistillServer(b *testing.B, teachersPerIter int) {
 
 // BenchmarkServerDistill100FullEnsemble is the pre-cohort regime: every
 // distillation iteration forwards all 100 replica teachers and transfers
-// back into all 100 replicas.
-func BenchmarkServerDistill100FullEnsemble(b *testing.B) { benchDistillServer(b, 0) }
+// back into all 100 replicas, with the worker-parallel fan-out and
+// gang-parallel kernels engaged (exact mode — byte-identical to Serial).
+func BenchmarkServerDistill100FullEnsemble(b *testing.B) { benchDistillServer(b, 0, false) }
+
+// BenchmarkServerDistill100FullEnsembleSerial is the one-core reference
+// arm: sequential teacher forwards and a width-1 kernel executor. The
+// kernel-tier-2 acceptance bar is FullEnsemble ≥ 2× over this on a
+// ≥ 4-core host.
+func BenchmarkServerDistill100FullEnsembleSerial(b *testing.B) { benchDistillServer(b, 0, true) }
+
+// BenchmarkServerDistill100FullEnsembleFast is the full ensemble under
+// -fast-math kernels (FMA, relaxed accumulation order): the exact-vs-fast
+// column of the bench table. Results are not byte-comparable to the
+// exact arms.
+func BenchmarkServerDistill100FullEnsembleFast(b *testing.B) {
+	tensor.SetFastMath(true)
+	defer tensor.SetFastMath(false)
+	benchDistillServer(b, 0, false)
+}
 
 // BenchmarkServerDistill100Teachers8 samples 8 teachers per iteration
 // (and an 8-wide rotating transfer-back window). The acceptance bar for
 // the cohort refactor is ≥ 5× over the full ensemble at 100 replicas.
-func BenchmarkServerDistill100Teachers8(b *testing.B) { benchDistillServer(b, 8) }
+func BenchmarkServerDistill100Teachers8(b *testing.B) { benchDistillServer(b, 8, false) }
+
+// BenchmarkServerDistill100Teachers8Fast is the sampled arm under
+// -fast-math kernels.
+func BenchmarkServerDistill100Teachers8Fast(b *testing.B) {
+	tensor.SetFastMath(true)
+	defer tensor.SetFastMath(false)
+	benchDistillServer(b, 8, false)
+}
 
 // benchPipelinedRound runs a full 100-device federation end to end at the
 // given pipeline depth: a full-ensemble server phase (the non-trivial
@@ -367,6 +401,23 @@ func BenchmarkLocalStepNoArena(b *testing.B) { benchLocalStep(b, false) }
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRand(1)
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	tensor.FillNormal(x, 0, 1, rng)
+	tensor.FillNormal(y, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkMatMul128Fast is BenchmarkMatMul128 under the fast-math
+// kernels (hardware FMA where available, relaxed accumulation order) —
+// the per-kernel exact-vs-fast delta of the bench table.
+func BenchmarkMatMul128Fast(b *testing.B) {
+	tensor.SetFastMath(true)
+	defer tensor.SetFastMath(false)
 	rng := tensor.NewRand(1)
 	x := tensor.New(128, 128)
 	y := tensor.New(128, 128)

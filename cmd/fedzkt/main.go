@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	fedzkt "github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 )
@@ -43,6 +44,7 @@ func run(args []string) error {
 		sampleK  = fs.Int("sample-k", 0, "sample exactly K clients per round (uniform-K; 0 keeps each experiment's policy)")
 		deadline = fs.Duration("round-deadline", 0, "per-round wall-clock budget; late devices are dropped from aggregation (0 = none)")
 		workers  = fs.Int("workers", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
+		fastMath = fs.Bool("fast-math", false, "relaxed-numerics kernels: FMA and parallel k-reductions with relaxed accumulation order; faster, but results stop being byte-reproducible against exact-mode runs")
 
 		teachersPerIter = fs.Int("teachers-per-iter", 0, "server: replica teachers sampled per distillation iteration (0 = paper-exact full ensemble; -exp scale always compares full vs sampled and sizes the sampled arm with this, defaulting to 8)")
 		teacherSampling = fs.String("teacher-sampling", "", "server: teacher-subset policy, uniform or weighted (by device data size)")
@@ -55,6 +57,25 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *teachersPerIter < 0 {
+		return fmt.Errorf("-teachers-per-iter must be >= 0 (0 = full ensemble), got %d", *teachersPerIter)
+	}
+	switch *teacherSampling {
+	case "", "uniform", "weighted":
+	default:
+		return fmt.Errorf("unknown -teacher-sampling %q (want uniform or weighted)", *teacherSampling)
+	}
+	if *fastMath {
+		// Fast math trades byte-reproducibility for speed: warn loudly so a
+		// run meant to reproduce a recorded golden fingerprint is not
+		// silently invalidated.
+		fmt.Fprintln(os.Stderr, "fedzkt: -fast-math enabled: FMA and relaxed accumulation order are in effect; run fingerprints will NOT match exact-mode (golden) recordings")
+		fedzkt.SetFastMath(true)
+		defer fedzkt.SetFastMath(false)
 	}
 	// The memprofile defer is registered first so it unwinds last —
 	// the CPU profile stops before the exit GC and allocation snapshot,

@@ -49,6 +49,7 @@ func main() {
 		failRate = flag.Float64("fail-rate", 0.05, "injected per-device-round failure probability")
 		weighted = flag.Bool("weighted", false, "weight client sampling by shard size")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		fastMath = flag.Bool("fast-math", false, "relaxed-numerics kernels (FMA, relaxed accumulation order); faster, not byte-reproducible against exact-mode runs")
 
 		teachersPerIter = flag.Int("teachers-per-iter", 8, "replica teachers sampled per server distillation iteration (0 = paper-exact full ensemble)")
 		teacherSampling = flag.String("teacher-sampling", "uniform", "teacher-subset policy: uniform or weighted (by device data size)")
@@ -86,6 +87,11 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *fastMath {
+		fedzkt.SetFastMath(true)
+		fmt.Printf("fast-math kernels on (hardware FMA: %v) — results are not byte-reproducible against exact mode\n", fedzkt.FastMathFMA())
 	}
 
 	fmt.Printf("simulating %d devices on %d CPU(s), sampling %d clients/round\n",

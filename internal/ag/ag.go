@@ -97,6 +97,12 @@ type Arena struct {
 	// cleared (entries dropped, map retained) on Reset, before any buffer
 	// can be recycled.
 	colCache map[convColKey]*tensor.Tensor
+
+	// shared, when installed via ShareColMemo, is consulted before
+	// colCache for conv lowerings of the memo's designated cross-worker
+	// batch tensor. It survives Reset: entries belong to the memo's owner
+	// arena, which rebinds (clears) the memo at step boundaries.
+	shared *ColMemo
 }
 
 // convColKey identifies one conv lowering: the input tensor (by identity)

@@ -112,23 +112,32 @@ func Conv2d(x, w, bias *Variable, stride, pad int) *Variable {
 }
 
 // buildConvCol returns the (ckk × nsp) column matrix lowering the batch
-// held in xd under key's geometry, consulting and filling the arena's
-// per-step memo (a plain function rather than a closure, so the hot path
-// allocates nothing).
+// held in xd under key's geometry. Lowerings of the cross-worker shared
+// batch come from the arena's installed ColMemo (one build for all
+// concurrent teacher forwards); everything else consults and fills the
+// arena's private per-step memo (a plain function rather than a closure,
+// so the hot path allocates nothing).
 func buildConvCol(ar *Arena, key convColKey, xd []float64, n, sp, nsp, ckk int) *tensor.Tensor {
+	if ar != nil && ar.shared != nil && ar.shared.covers(key.x) {
+		return ar.shared.col(key, xd, n, sp, nsp, ckk)
+	}
 	if col := ar.cachedCol(key); col != nil {
 		return col
 	}
 	col := ar.tensorRaw(ckk, nsp)
-	cd := col.Data()
-	chw := key.c * key.h * key.w
-	for s := 0; s < n; s++ {
-		// Each sample expands straight into its columns of the shared
-		// matrix — no per-sample staging buffer, no second copy.
-		tensor.Im2ColStrided(xd[s*chw:(s+1)*chw], key.c, key.h, key.w, key.kh, key.kw, key.stride, key.pad, cd, nsp, s*sp)
-	}
+	fillConvCol(col.Data(), key, xd, n, sp, nsp)
 	ar.storeCol(key, col)
 	return col
+}
+
+// fillConvCol expands the batch into the column matrix, one sample at a
+// time straight into its columns — no per-sample staging buffer, no
+// second copy.
+func fillConvCol(cd []float64, key convColKey, xd []float64, n, sp, nsp int) {
+	chw := key.c * key.h * key.w
+	for s := 0; s < n; s++ {
+		tensor.Im2ColStrided(xd[s*chw:(s+1)*chw], key.c, key.h, key.w, key.kh, key.kw, key.stride, key.pad, cd, nsp, s*sp)
+	}
 }
 
 // DepthwiseConv2d applies one kh×kw filter per input channel (groups ==

@@ -1,0 +1,121 @@
+package ag
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+func bitsEq(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+			t.Fatalf("%s: elem %d differs: %v vs %v", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestMirrorGradBitIdentical pins the mirror node's pass-through backward
+// to a direct tape: same value, bit-identical gradient. This is the unit
+// form of the property the server's golden fingerprints pin end to end —
+// re-rooting a shared batch onto a worker arena must not perturb a single
+// gradient bit.
+func TestMirrorGradBitIdentical(t *testing.T) {
+	xt := tensor.New(4, 3)
+	tensor.FillNormal(xt, 0, 1, tensor.NewRand(7))
+
+	direct := NewArena()
+	xd := NewVarIn(direct, xt.Clone(), true)
+	Backward(SumAll(Mul(xd, xd)))
+
+	phase, worker := NewArena(), NewArena()
+	xm := NewVarIn(phase, xt.Clone(), true)
+	mirrored := MirrorIn(worker, xm)
+	if mirrored.Value() != xm.Value() {
+		t.Fatal("mirror must share the parent's value tensor")
+	}
+	Backward(SumAll(Mul(mirrored, mirrored)))
+
+	bitsEq(t, "mirror grad", xm.Grad(), xd.Grad())
+}
+
+// TestMirrorConstDegrades checks a no-grad parent yields a constant
+// mirror: nothing taped, no gradient machinery engaged.
+func TestMirrorConstDegrades(t *testing.T) {
+	xt := tensor.New(2, 2)
+	a, b := NewArena(), NewArena()
+	x := ConstIn(a, xt)
+	m := MirrorIn(b, x)
+	if m.RequiresGrad() {
+		t.Fatal("mirror of a constant must not require grad")
+	}
+	if m.Value() != xt {
+		t.Fatal("mirror must share the value tensor")
+	}
+}
+
+// TestColMemoSharedAcrossArenas runs the same conv forward on two worker
+// arenas over one batch: the shared memo must hand both the identical
+// column tensor (one build), the workers' private caches must stay empty
+// for that key, and a non-covered input must stay worker-local.
+func TestColMemoSharedAcrossArenas(t *testing.T) {
+	xt := tensor.New(2, 1, 6, 6)
+	wt := tensor.New(3, 1, 3, 3)
+	rng := tensor.NewRand(13)
+	tensor.FillNormal(xt, 0, 1, rng)
+	tensor.FillNormal(wt, 0, 1, rng)
+
+	phase := NewArena()
+	memo := NewColMemo(phase)
+	memo.Rebind(xt)
+
+	workers := []*Arena{NewArena(), NewArena()}
+	outs := make([]*tensor.Tensor, len(workers))
+	var wg sync.WaitGroup
+	for i, wa := range workers {
+		wa.ShareColMemo(memo)
+		wg.Add(1)
+		go func(i int, wa *Arena) {
+			defer wg.Done()
+			outs[i] = Conv2d(ConstIn(wa, xt), ConstIn(wa, wt.Clone()), nil, 1, 1).Value()
+		}(i, wa)
+	}
+	wg.Wait()
+
+	bitsEq(t, "shared-memo conv", outs[0], outs[1])
+	ref := Conv2d(Const(xt), Const(wt), nil, 1, 1) // heap, no memo
+	bitsEq(t, "conv vs heap", outs[0], ref.Value())
+
+	if len(memo.m) != 1 {
+		t.Fatalf("memo holds %d entries, want 1", len(memo.m))
+	}
+	for _, wa := range workers {
+		if len(wa.colCache) != 0 {
+			t.Fatalf("worker cached a covered key locally (%d entries)", len(wa.colCache))
+		}
+	}
+
+	// A different input tensor is not covered: it must land in the
+	// worker's private cache, not the shared memo.
+	other := tensor.New(2, 1, 6, 6)
+	tensor.FillNormal(other, 0, 1, rng)
+	_ = Conv2d(ConstIn(workers[0], other), ConstIn(workers[0], wt.Clone()), nil, 1, 1)
+	if len(memo.m) != 1 {
+		t.Fatalf("non-covered key leaked into shared memo (%d entries)", len(memo.m))
+	}
+	if len(workers[0].colCache) != 1 {
+		t.Fatalf("non-covered key missing from worker cache (%d entries)", len(workers[0].colCache))
+	}
+
+	// Rebind drops entries and rebinding to nil stops covering anything.
+	memo.Rebind(nil)
+	if len(memo.m) != 0 {
+		t.Fatal("Rebind(nil) must clear the memo")
+	}
+	if memo.covers(xt) {
+		t.Fatal("unbound memo must cover nothing")
+	}
+}

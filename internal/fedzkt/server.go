@@ -52,11 +52,19 @@ type Server struct {
 	// shared tensors have joined.
 	phase *ag.Arena
 	// workerArenas are the per-worker arenas of the parallel sections
-	// (transfer-back replica steps, replica evaluation), grown on the
-	// caller's goroutine before a fan-out so workers never mutate the
-	// slice. Worker w is the only goroutine touching workerArenas[w]
-	// during a fan-out.
+	// (adversarial teacher forwards, transfer-back replica steps, replica
+	// evaluation), grown on the caller's goroutine before a fan-out so
+	// workers never mutate the slice. Worker w is the only goroutine
+	// touching workerArenas[w] during a fan-out.
 	workerArenas []*ag.Arena
+	// colMemo shares the im2col lowering of each iteration's generated
+	// batch across the concurrent teacher/replica forwards; owned by (and
+	// allocated from) the phase arena, rebound per step and cleared before
+	// every phase reset.
+	colMemo *ag.ColMemo
+	// outScratch is the reusable teacher-output slice of the adversarial
+	// fan-out; holds only pointers, overwritten every iteration.
+	outScratch []*ag.Variable
 }
 
 // NewServer constructs the server side for a dataset signature (input
@@ -92,6 +100,11 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 		gen:     model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
 		phase:   ag.NewArena(),
 	}
+	s.colMemo = ag.NewColMemo(s.phase)
+	s.phase.ShareColMemo(s.colMemo)
+	// Large matmuls fan out over the process-wide kernel gang from here on;
+	// exact-mode results are bit-identical for any gang width.
+	sched.UseKernelGang()
 	s.globalOpt = optim.NewSGD(global.Params(), cfg.ServerLR, 0.9, 0)
 	s.genOpt = optim.NewAdam(s.gen.Params(), cfg.GenLR)
 	totalIters := cfg.Rounds * cfg.DistillIters
@@ -257,11 +270,27 @@ func (s *Server) Distill(ctx context.Context, round int) (float64, error) {
 }
 
 // ensureWorkerArenas grows the per-worker arena pool to n on the calling
-// goroutine, before a fan-out references them.
+// goroutine, before a fan-out references them. Every worker arena shares
+// the server's column memo, so concurrent forwards over one batch lower
+// it exactly once.
 func (s *Server) ensureWorkerArenas(n int) {
 	for len(s.workerArenas) < n {
-		s.workerArenas = append(s.workerArenas, ag.NewArena())
+		wa := ag.NewArena()
+		wa.ShareColMemo(s.colMemo)
+		s.workerArenas = append(s.workerArenas, wa)
 	}
+}
+
+// resetStep recycles everything one adversarial step allocated: the
+// column memo is cleared first (its entries live in the phase arena),
+// then the worker arenas holding the teachers' tapes, then the phase
+// arena itself — the ordering ag.convColKey's identity keying requires.
+func (s *Server) resetStep() {
+	s.colMemo.Rebind(nil)
+	for _, wa := range s.workerArenas {
+		wa.Reset()
+	}
+	s.phase.Reset()
 }
 
 // teachersPerIter returns the effective per-iteration teacher count: 0 for
@@ -368,6 +397,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		s.global.SetTraining(false)
 		z := ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))
 		x := s.gen.Forward(z)
+		s.colMemo.Rebind(x.Value())
 		loss := s.disagreement(x, teachers, weights)
 		lg := ag.Scale(-1, loss)
 		s.genOpt.ZeroGrad()
@@ -378,7 +408,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 			gradNormCount++
 		}
 		s.genOpt.Step()
-		s.phase.Reset()
+		s.resetStep()
 		nn.SetTrainable(s.global, true)
 		s.global.SetTraining(true)
 
@@ -389,11 +419,12 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		for st := 0; st < cfg.StudentSteps; st++ {
 			z = ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))
 			x = s.gen.Forward(z)
+			s.colMemo.Rebind(x.Value())
 			loss = s.disagreement(x, teachers, weights)
 			s.globalOpt.ZeroGrad()
 			ag.Backward(loss)
 			s.globalOpt.Step()
-			s.phase.Reset()
+			s.resetStep()
 		}
 		nn.SetTrainable(s.gen, true)
 
@@ -413,11 +444,31 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 // leases, in lease order (ascending device id).
 func (s *Server) disagreement(x *ag.Variable, teachers []*replicaLease, weights []float64) *ag.Variable {
 	student := s.global.Forward(x)
-	outs := make([]*ag.Variable, len(teachers))
-	for i, l := range teachers {
-		outs[i] = l.slot.module.Forward(x)
-	}
+	outs := s.teacherOuts(x, teachers)
 	return DisagreementWeighted(s.cfg.Loss, student, outs, weights)
+}
+
+// teacherOuts runs the T frozen teacher forwards of one distillation
+// iteration, fanned out across the configured workers. Each worker tapes
+// its teachers on its own arena through an ag.MirrorIn of the shared
+// batch — a pass-through node whose backward is bit-identical to
+// accumulating into x directly — and the batch's im2col lowering is
+// built once in the shared column memo instead of once per forward. The
+// result slice is index-ordered, the loss combines it in that order, and
+// each tape's topology is independent of which worker taped it, so the
+// loss and every gradient are byte-identical for any worker count
+// (including the inline workers=1 path).
+func (s *Server) teacherOuts(x *ag.Variable, teachers []*replicaLease) []*ag.Variable {
+	if cap(s.outScratch) < len(teachers) {
+		s.outScratch = make([]*ag.Variable, len(teachers))
+	}
+	outs := s.outScratch[:len(teachers)]
+	workers := s.cfg.poolWorkers()
+	s.ensureWorkerArenas(sched.EffectiveWorkers(len(teachers), workers))
+	sched.ForEachWorker(len(teachers), workers, func(i, w int) {
+		outs[i] = teachers[i].slot.module.Forward(ag.MirrorIn(s.workerArenas[w], x))
+	})
+	return outs
 }
 
 // transferBackIDs returns the replica ids iteration it of round round
@@ -478,6 +529,7 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 		// Variable wrappers carry no arena, so each worker's tape draws
 		// from the worker's own arena instead.
 		x := s.gen.Forward(ag.ConstIn(s.phase, s.gen.SampleZIn(s.phase.Tensors(), cfg.DistillBatch, rng))).Value()
+		s.colMemo.Rebind(x)
 		targets := NewDistillTargetsIn(s.phase.Tensors(),
 			ag.SoftmaxRowsIn(s.phase, s.global.Forward(ag.ConstIn(s.phase, x)).Value()))
 
@@ -509,6 +561,7 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 		if t > 0 {
 			s.cohorts.release(batch)
 		}
+		s.colMemo.Rebind(nil)
 		s.phase.Reset()
 	}
 	return nil

@@ -1,0 +1,135 @@
+package tensor
+
+import "sync/atomic"
+
+// fastMathOn gates the relaxed-numerics kernels. Off (the default) every
+// matmul keeps the exact, bit-reproducible accumulation order the golden
+// fingerprints pin. On, kernels may fuse multiply-adds (FMA), keep several
+// partial sums per inner product, and stop skipping exact zeros — results
+// are still correctly rounded per operation, just associated differently,
+// so run fingerprints will NOT match exact-mode recordings.
+var fastMathOn atomic.Bool
+
+// SetFastMath toggles the relaxed-numerics kernel mode process-wide. It is
+// read once at each kernel entry, so flipping it mid-operation never mixes
+// modes within one matmul.
+func SetFastMath(on bool) { fastMathOn.Store(on) }
+
+// FastMath reports whether the relaxed-numerics kernels are active.
+func FastMath() bool { return fastMathOn.Load() }
+
+// FastMathFMA reports whether hardware fused-multiply-add kernels back the
+// fast mode on this CPU; when false the fast mode still relaxes
+// accumulation order in pure Go.
+func FastMathFMA() bool { return useFMA }
+
+// fastMatMulRange is the relaxed counterpart of matMulRange: same
+// zero-then-accumulate row structure and ascending-k visit order, but no
+// zero skipping and FMA contraction when available. Branchless lanes keep
+// the loop body uniform, which is where most of the fast-mode win on
+// sparse-ish activations comes from.
+func fastMatMulRange(out, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		clear(orow)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			fastAxpy4Rows(orow,
+				b[(kk+0)*n:(kk+1)*n], b[(kk+1)*n:(kk+2)*n],
+				b[(kk+2)*n:(kk+3)*n], b[(kk+3)*n:(kk+4)*n],
+				arow[kk], arow[kk+1], arow[kk+2], arow[kk+3])
+		}
+		for ; kk < k; kk++ {
+			fastAxpyRow(orow, arow[kk], b[kk*n:(kk+1)*n])
+		}
+	}
+}
+
+// fastMatMulTransARange is the relaxed counterpart of matMulTransARange
+// (a's lanes are strided column loads), with the same relaxations as
+// fastMatMulRange.
+func fastMatMulTransARange(out, a, b []float64, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out[i*n : (i+1)*n]
+		clear(orow)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			fastAxpy4Rows(orow,
+				b[(kk+0)*n:(kk+1)*n], b[(kk+1)*n:(kk+2)*n],
+				b[(kk+2)*n:(kk+3)*n], b[(kk+3)*n:(kk+4)*n],
+				a[(kk+0)*m+i], a[(kk+1)*m+i], a[(kk+2)*m+i], a[(kk+3)*m+i])
+		}
+		for ; kk < k; kk++ {
+			fastAxpyRow(orow, a[kk*m+i], b[kk*n:(kk+1)*n])
+		}
+	}
+}
+
+// fastMatMulTransBRange is the relaxed counterpart of matMulTransBRange:
+// each output element is one inner product, computed with parallel
+// k-partials (four independent accumulators combined pairwise, or the FMA
+// dot kernel's vector lanes) instead of a single sequential chain.
+func fastMatMulTransBRange(out, a, b []float64, k, n int, accum bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			store1(out, i*n+j, accum, fastDot(arow, b[j*k:(j+1)*k]))
+		}
+	}
+}
+
+// fastAxpyRow performs orow += av * brow with FMA contraction when the CPU
+// has it.
+func fastAxpyRow(orow []float64, av float64, brow []float64) {
+	if useFMA {
+		axpy1FMA(orow, brow, av)
+		return
+	}
+	for j, bv := range brow {
+		orow[j] += av * bv
+	}
+}
+
+// fastAxpy4Rows performs the fused four-k-step update with FMA contraction
+// when available; the pure-Go fallback keeps the exact kernel's
+// left-associated chain (its relaxation is only the dropped zero skip).
+func fastAxpy4Rows(orow, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64) {
+	if useFMA {
+		axpy4FMA(orow, b0, b1, b2, b3, av0, av1, av2, av3)
+		return
+	}
+	for j := range orow {
+		orow[j] = orow[j] + av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+	}
+}
+
+// fastDot computes the inner product of a and b (equal lengths) with
+// relaxed association: the FMA kernel keeps eight vector-lane partials,
+// the Go fallback four scalar partials combined pairwise. Both break the
+// sequential dependence chain of the exact kernel, which is the entire
+// speedup for TransB-shaped backward passes.
+func fastDot(a, b []float64) float64 {
+	k := len(a)
+	if useFMA && k >= 8 {
+		k8 := k &^ 7
+		s := dotFMA(a[:k8], b[:k8])
+		for kk := k8; kk < k; kk++ {
+			s += a[kk] * b[kk]
+		}
+		return s
+	}
+	var s0, s1, s2, s3 float64
+	kk := 0
+	for ; kk+4 <= k; kk += 4 {
+		s0 += a[kk] * b[kk]
+		s1 += a[kk+1] * b[kk+1]
+		s2 += a[kk+2] * b[kk+2]
+		s3 += a[kk+3] * b[kk+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; kk < k; kk++ {
+		s += a[kk] * b[kk]
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+//go:build amd64
+
+package tensor
+
+// useFMA gates the fused-multiply-add fast-math kernels. Unlike useSIMD's
+// AVX kernels these are NOT bit-identical to the scalar loops — VFMADD
+// contracts each multiply-add to a single rounding — which is exactly why
+// they are reachable only behind SetFastMath(true).
+var useFMA = cpuHasFMA()
+
+// cpuHasFMA reports FMA3 support: CPUID.1:ECX bit 12 (FMA) plus the same
+// OSXSAVE/AVX/XGETBV state checks as cpuHasAVX. Implemented in
+// fastmath_amd64.s.
+func cpuHasFMA() bool
+
+// axpy1FMA computes dst[j] += av * b[j] with a fused multiply-add per
+// element. len(b) must be at least len(dst).
+//
+//go:noescape
+func axpy1FMA(dst, b []float64, av float64)
+
+// axpy4FMA computes, for j in [0, len(dst)),
+//
+//	dst[j] += av0*b0[j]; dst[j] += av1*b1[j]; ... (each step fused)
+//
+// i.e. the four-k-step update as a chain of four FMAs. Each b slice must
+// be at least len(dst) long.
+//
+//go:noescape
+func axpy4FMA(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+
+// dotFMA computes the inner product of a and b over len(a) terms, which
+// must be a multiple of 8 (callers pass the k&^7 prefix and finish the
+// tail in scalar code). Two YMM accumulators of four lanes each run in
+// parallel and are reduced in a fixed order, so the result is
+// deterministic for a given input — just not the sequential chain.
+//
+//go:noescape
+func dotFMA(a, b []float64) float64

@@ -1,0 +1,150 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasFMA() bool
+//
+// CPUID.1:ECX bit 12 (FMA3) plus bits 27 (OSXSAVE) and 28 (AVX), and the
+// OS must have enabled XMM+YMM state saving (XCR0 bits 1 and 2).
+TEXT ·cpuHasFMA(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<12 | 1<<27 | 1<<28), AX
+	CMPL AX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  nofma
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  nofma
+	MOVB $1, ret+0(FP)
+	RET
+
+nofma:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpy1FMA(dst, b []float64, av float64)
+//
+// dst[j] += av * b[j], each element a single fused multiply-add.
+TEXT ·axpy1FMA(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         b_base+24(FP), SI
+	VBROADCASTSD av+48(FP), Y0
+	XORQ         AX, AX
+	MOVQ         CX, DX
+	ANDQ         $-4, DX
+
+loop4:
+	CMPQ        AX, DX
+	JGE         tail
+	VMOVUPD     (DI)(AX*8), Y4
+	VMOVUPD     (SI)(AX*8), Y5
+	VFMADD231PD Y0, Y5, Y4
+	VMOVUPD     Y4, (DI)(AX*8)
+	ADDQ        $4, AX
+	JMP         loop4
+
+tail:
+	CMPQ        AX, CX
+	JGE         done
+	MOVSD       (DI)(AX*8), X4
+	MOVSD       (SI)(AX*8), X5
+	VFMADD231SD X0, X5, X4
+	MOVSD       X4, (DI)(AX*8)
+	INCQ        AX
+	JMP         tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4FMA(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+//
+// dst[j] accumulates four fused multiply-adds, one per b stream.
+TEXT ·axpy4FMA(SB), NOSPLIT, $0-152
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         b0_base+24(FP), SI
+	MOVQ         b1_base+48(FP), R8
+	MOVQ         b2_base+72(FP), R9
+	MOVQ         b3_base+96(FP), R10
+	VBROADCASTSD av0+120(FP), Y0
+	VBROADCASTSD av1+128(FP), Y1
+	VBROADCASTSD av2+136(FP), Y2
+	VBROADCASTSD av3+144(FP), Y3
+	XORQ         AX, AX
+	MOVQ         CX, DX
+	ANDQ         $-4, DX
+
+loop4:
+	CMPQ        AX, DX
+	JGE         tail
+	VMOVUPD     (DI)(AX*8), Y4
+	VMOVUPD     (SI)(AX*8), Y5
+	VFMADD231PD Y0, Y5, Y4
+	VMOVUPD     (R8)(AX*8), Y5
+	VFMADD231PD Y1, Y5, Y4
+	VMOVUPD     (R9)(AX*8), Y5
+	VFMADD231PD Y2, Y5, Y4
+	VMOVUPD     (R10)(AX*8), Y5
+	VFMADD231PD Y3, Y5, Y4
+	VMOVUPD     Y4, (DI)(AX*8)
+	ADDQ        $4, AX
+	JMP         loop4
+
+tail:
+	CMPQ        AX, CX
+	JGE         done
+	MOVSD       (DI)(AX*8), X4
+	MOVSD       (SI)(AX*8), X5
+	VFMADD231SD X0, X5, X4
+	MOVSD       (R8)(AX*8), X5
+	VFMADD231SD X1, X5, X4
+	MOVSD       (R9)(AX*8), X5
+	VFMADD231SD X2, X5, X4
+	MOVSD       (R10)(AX*8), X5
+	VFMADD231SD X3, X5, X4
+	MOVSD       X4, (DI)(AX*8)
+	INCQ        AX
+	JMP         tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotFMA(a, b []float64) float64
+//
+// Inner product over len(a) terms (a multiple of 8): two four-lane YMM
+// accumulators advance in parallel, then reduce in a fixed order
+// (acc0+acc1, cross-lane adds, horizontal add).
+TEXT ·dotFMA(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   a_len+8(FP), CX
+	MOVQ   b_base+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ   AX, AX
+
+loop8:
+	CMPQ        AX, CX
+	JGE         reduce
+	VMOVUPD     (SI)(AX*8), Y4
+	VMOVUPD     (DI)(AX*8), Y5
+	VFMADD231PD Y5, Y4, Y0
+	VMOVUPD     32(SI)(AX*8), Y6
+	VMOVUPD     32(DI)(AX*8), Y7
+	VFMADD231PD Y7, Y6, Y1
+	ADDQ        $8, AX
+	JMP         loop8
+
+reduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	VZEROUPPER
+	MOVSD        X0, ret+48(FP)
+	RET

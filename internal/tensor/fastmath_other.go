@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no FMA kernels; fast-math mode still relaxes
+// accumulation order (parallel k-partials, no zero skip) in pure Go.
+const useFMA = false
+
+func axpy1FMA(dst, b []float64, av float64) {
+	panic("tensor: axpy1FMA called without FMA support")
+}
+
+func axpy4FMA(dst, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64) {
+	panic("tensor: axpy4FMA called without FMA support")
+}
+
+func dotFMA(a, b []float64) float64 {
+	panic("tensor: dotFMA called without FMA support")
+}

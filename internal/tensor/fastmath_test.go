@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func maxRelDiff(got, want *Tensor) float64 {
+	worst := 0.0
+	for i, w := range want.data {
+		d := math.Abs(got.data[i] - w)
+		if s := math.Abs(w); s > 1 {
+			d /= s
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestFastMathCloseAndRestoresExact checks the relaxed kernels stay within
+// reassociation distance of the exact ones (every partial sum is still
+// correctly rounded, only the association differs) and — the part the
+// golden fingerprints depend on — that switching fast math off restores
+// bit-exact results immediately.
+func TestFastMathCloseAndRestoresExact(t *testing.T) {
+	rng := NewRand(23)
+	t.Cleanup(func() { SetFastMath(false) })
+	for _, d := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 33, 29}, {64, 72, 100}, {128, 128, 128}} {
+		m, k, n := d[0], d[1], d[2]
+		a, b := New(m, k), New(k, n)
+		FillNormal(a, 0, 1, rng)
+		FillNormal(b, 0, 1, rng)
+		for i := 0; i < len(a.data); i += 3 {
+			a.data[i] = 0 // fast mode drops the zero skip; values must still agree
+		}
+		at := New(k, m)
+		FillNormal(at, 0, 1, rng)
+		bt := New(n, k)
+		FillNormal(bt, 0, 1, rng)
+
+		SetFastMath(false)
+		exact := MatMul(a, b)
+		exactA := MatMulTransA(at, b)
+		exactB := MatMulTransB(a, bt)
+
+		SetFastMath(true)
+		if !FastMath() {
+			t.Fatal("SetFastMath(true) not visible")
+		}
+		// Reassociating k partial sums perturbs each output by at most a
+		// few ULP per term; 1e-10 relative is orders of magnitude of slack
+		// for k <= 128 while still catching any indexing bug outright.
+		const tol = 1e-10
+		if d := maxRelDiff(MatMul(a, b), exact); d > tol {
+			t.Fatalf("fast MatMul diverged: rel diff %g", d)
+		}
+		if d := maxRelDiff(MatMulTransA(at, b), exactA); d > tol {
+			t.Fatalf("fast MatMulTransA diverged: rel diff %g", d)
+		}
+		if d := maxRelDiff(MatMulTransB(a, bt), exactB); d > tol {
+			t.Fatalf("fast MatMulTransB diverged: rel diff %g", d)
+		}
+
+		// Accumulate variant under fast math: dst += a·bᵀ still lands
+		// within tolerance of the exact accumulation.
+		dst := New(m, n)
+		FillNormal(dst, 0, 1, rng)
+		want := dst.Clone()
+		AccumInto(want, exactB)
+		MatMulTransBAccInto(dst, a, bt)
+		if d := maxRelDiff(dst, want); d > tol {
+			t.Fatalf("fast MatMulTransBAccInto diverged: rel diff %g", d)
+		}
+
+		SetFastMath(false)
+		bitEq(t, "restored matmul", MatMul(a, b), exact)
+		bitEq(t, "restored transA", MatMulTransA(at, b), exactA)
+		bitEq(t, "restored transB", MatMulTransB(a, bt), exactB)
+	}
+}
+
+// TestFastDotMatchesWithinTolerance exercises the parallel k-reduction
+// (FMA lanes on amd64, four scalar partials elsewhere) across lengths
+// around its unroll boundaries.
+func TestFastDotMatchesWithinTolerance(t *testing.T) {
+	rng := NewRand(29)
+	for _, k := range []int{0, 1, 3, 4, 7, 8, 9, 15, 16, 31, 64, 127} {
+		a, b := New(1, max(k, 1)), New(1, max(k, 1))
+		FillNormal(a, 0, 1, rng)
+		FillNormal(b, 0, 1, rng)
+		av, bv := a.data[:k], b.data[:k]
+		exact := 0.0
+		for i := 0; i < k; i++ {
+			exact += av[i] * bv[i]
+		}
+		got := fastDot(av, bv)
+		if d := math.Abs(got - exact); d > 1e-10*(1+math.Abs(exact)) {
+			t.Fatalf("k=%d: fastDot %v vs exact %v", k, got, exact)
+		}
+	}
+}

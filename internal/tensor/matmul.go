@@ -2,13 +2,8 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
-
-// parallelThreshold is the minimum number of multiply-adds before a matmul
-// is split across goroutines; below this the goroutine overhead dominates.
-const parallelThreshold = 1 << 17
 
 // scratchPool recycles the scratch buffers of the accumulate variants
 // (MatMulAccInto / MatMulTransAAccInto) across calls and goroutines, so
@@ -54,7 +49,7 @@ func MatMulAccInto(dst, a, b *Tensor) {
 	holder, tmp := scratchBuf(m * n)
 	defer scratchPool.Put(holder)
 	matMulInto(tmp, a.data, b.data, m, k, n)
-	addSlice(dst.data, tmp)
+	accumSlice(dst.data, tmp)
 }
 
 func mmDims(a, b *Tensor) (m, k, n int) {
@@ -92,7 +87,7 @@ func MatMulTransAAccInto(dst, a, b *Tensor) {
 	holder, tmp := scratchBuf(m * n)
 	defer scratchPool.Put(holder)
 	matMulTransAInto(tmp, a.data, b.data, k, m, n)
-	addSlice(dst.data, tmp)
+	accumSlice(dst.data, tmp)
 }
 
 func mmTransADims(a, b *Tensor) (k, m, n int) {
@@ -175,23 +170,23 @@ func checkDst(what string, dst *Tensor, m, n int) {
 	}
 }
 
-func addSlice(dst, src []float64) {
-	for i, v := range src {
-		dst[i] += v
-	}
-}
-
 // matMulInto computes out = a·b by zeroing out and accumulating rank-1
 // contributions in ascending-k order, four k-steps at a time. The fused
 // four-term update is a single left-associative expression, so its
 // addition tree is exactly the sequential += chain of the classic loop;
 // a k-step whose a element is an exact zero is skipped, as it always was.
+// In fast-math mode the relaxed range kernel (FMA, no zero skip) is
+// substituted; row blocking is identical either way.
 func matMulInto(out, a, b []float64, m, k, n int) {
+	rng := matMulRange
+	if FastMath() {
+		rng = fastMatMulRange
+	}
 	if rowsParallel(m, k*n) {
-		parallelRows(m, k*n, func(lo, hi int) { matMulRange(out, a, b, k, n, lo, hi) })
+		parallelRows(m, k*n, func(lo, hi int) { rng(out, a, b, k, n, lo, hi) })
 		return
 	}
-	matMulRange(out, a, b, k, n, 0, m)
+	rng(out, a, b, k, n, 0, m)
 }
 
 // matMulRange computes rows [lo, hi) of matMulInto's output.
@@ -230,11 +225,15 @@ func matMulRange(out, a, b []float64, k, n, lo, hi int) {
 // same zeroed-then-accumulate, k-unrolled-by-4, zero-skipping structure as
 // matMulInto (a's lanes are strided column loads here).
 func matMulTransAInto(out, a, b []float64, k, m, n int) {
+	rng := matMulTransARange
+	if FastMath() {
+		rng = fastMatMulTransARange
+	}
 	if rowsParallel(m, k*n) {
-		parallelRows(m, k*n, func(lo, hi int) { matMulTransARange(out, a, b, k, m, n, lo, hi) })
+		parallelRows(m, k*n, func(lo, hi int) { rng(out, a, b, k, m, n, lo, hi) })
 		return
 	}
-	matMulTransARange(out, a, b, k, m, n, 0, m)
+	rng(out, a, b, k, m, n, 0, m)
 }
 
 // matMulTransARange computes rows [lo, hi) of matMulTransAInto's output.
@@ -302,11 +301,15 @@ func axpy4Rows(orow, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64) {
 // columns measures fastest here — enough operand reuse to cut memory
 // traffic, few enough live accumulators to stay in registers.
 func matMulTransBInto(out, a, b []float64, m, k, n int, accum bool) {
+	rng := matMulTransBRange
+	if FastMath() {
+		rng = fastMatMulTransBRange
+	}
 	if rowsParallel(m, k*n) {
-		parallelRows(m, k*n, func(lo, hi int) { matMulTransBRange(out, a, b, k, n, accum, lo, hi) })
+		parallelRows(m, k*n, func(lo, hi int) { rng(out, a, b, k, n, accum, lo, hi) })
 		return
 	}
-	matMulTransBRange(out, a, b, k, n, accum, 0, m)
+	rng(out, a, b, k, n, accum, 0, m)
 }
 
 // matMulTransBRange computes rows [lo, hi) of matMulTransBInto's output.
@@ -417,52 +420,4 @@ func store1(out []float64, off int, accum bool, c float64) {
 		return
 	}
 	out[off] = c
-}
-
-// ParallelFor runs fn over [0,n) split into contiguous chunks across
-// GOMAXPROCS goroutines when n*workPerItem exceeds an internal threshold;
-// otherwise it runs serially. fn must be safe to run concurrently on
-// disjoint ranges. It is used to spread convolution batches across cores.
-func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
-	parallelRows(n, workPerItem, fn)
-}
-
-// rowsParallel reports whether a row loop of the given size would fan out
-// across goroutines. Kernels consult it before building the closure for
-// parallelRows, so the serial path — the common case for training-step
-// sized operands — allocates nothing.
-func rowsParallel(rows, workPerRow int) bool {
-	return runtime.GOMAXPROCS(0) > 1 && rows > 1 && rows*workPerRow >= parallelThreshold
-}
-
-// parallelRows runs fn over [0,rows) split into contiguous chunks across
-// GOMAXPROCS goroutines when rows*workPerRow exceeds parallelThreshold;
-// otherwise it runs fn serially. fn must be safe to run concurrently on
-// disjoint ranges.
-func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
-	if rows <= 0 {
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 || rows*workPerRow < parallelThreshold {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

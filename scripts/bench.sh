@@ -3,19 +3,24 @@
 # summary so the performance trajectory is tracked from PR 5 on.
 #
 # Usage:
-#   ./scripts/bench.sh              # writes BENCH_5.json in the repo root
+#   ./scripts/bench.sh              # writes BENCH_7.json in the repo root
 #   ./scripts/bench.sh out.json     # explicit output path
 #   BENCHTIME=3x ./scripts/bench.sh # cheaper run (default 8x)
 #
+# The distill benchmarks come in three arms: Serial (one core, width-1
+# kernels), the default parallel exact mode (byte-identical to Serial),
+# and Fast (-fast-math kernels, not byte-comparable). Serial-vs-parallel
+# and exact-vs-Fast deltas are both readable straight from the JSON.
+#
 # The JSON is a flat object: run metadata plus one entry per benchmark
 # with ns/op, B/op and allocs/op, ready for jq / CI trend tooling:
-#   jq '.benchmarks[] | {name, ns_per_op}' BENCH_5.json
+#   jq '.benchmarks[] | {name, ns_per_op}' BENCH_7.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_7.json}"
 BENCHTIME="${BENCHTIME:-8x}"
-PATTERN='BenchmarkServerDistill100FullEnsemble|BenchmarkServerDistill100Teachers8|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward'
+PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -23,7 +28,8 @@ go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . | tee "$
 
 awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
     -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v cores="$(nproc 2>/dev/null || echo 1)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -39,11 +45,12 @@ awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
 END {
 	printf "{\n"
 	printf "  \"schema\": \"fedzkt-bench/1\",\n"
-	printf "  \"pr\": 5,\n"
+	printf "  \"pr\": 7,\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"git\": \"%s\",\n", rev
 	printf "  \"go\": \"%s\",\n", gover
 	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"cores\": %s,\n", cores
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
