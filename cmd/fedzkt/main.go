@@ -51,6 +51,9 @@ func run(args []string) error {
 		cohortReplicas  = fs.Int("cohort-replicas", 0, "server: live replica modules retained per architecture cohort (0 = automatic)")
 		pipelineDepth   = fs.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine (0 = paper-exact synchronous barrier; -exp scale always compares sync vs pipelined and sizes the pipelined arm with this, defaulting to 1)")
 		stateCodec      = fs.String("state-codec", "", "state codec for replica slots, wire payloads and checkpoints: float64 (dense, the default), float16, or int8 (per-tensor affine); -exp scale additionally sweeps all three in its codec table")
+		replicaStore    = fs.String("replica-store", "", "server replica store: memory (fully resident, the default) or spill (LRU hot set + disk tier); -exp scale additionally runs a spill arm in its store table")
+		shardCount      = fs.Int("shards", 0, "cohort store shards, registration/checkout fanned out per shard (0 = 1)")
+		hotSet          = fs.Int("hot-set", 0, "resident replica slots per cohort shard under the spill store (0 = sized to the teacher window)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProfile = fs.String("memprofile", "", "write an allocation profile taken at exit to this file (inspect with `go tool pprof -sample_index=alloc_objects`)")
@@ -68,6 +71,14 @@ func run(args []string) error {
 	case "", "uniform", "weighted":
 	default:
 		return fmt.Errorf("unknown -teacher-sampling %q (want uniform or weighted)", *teacherSampling)
+	}
+	switch *replicaStore {
+	case "", fedzkt.ReplicaStoreMemory, fedzkt.ReplicaStoreSpill:
+	default:
+		return fmt.Errorf("unknown -replica-store %q (want memory or spill)", *replicaStore)
+	}
+	if *shardCount < 0 || *hotSet < 0 {
+		return fmt.Errorf("-shards and -hot-set must be >= 0")
 	}
 	if *fastMath {
 		// Fast math trades byte-reproducibility for speed: warn loudly so a
@@ -131,6 +142,9 @@ func run(args []string) error {
 		return err
 	}
 	params.StateCodec = *stateCodec
+	params.ReplicaStore = *replicaStore
+	params.ReplicaShards = *shardCount
+	params.HotSet = *hotSet
 	if *devices != "" {
 		counts, err := parseDevices(*devices)
 		if err != nil {

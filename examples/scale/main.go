@@ -1,12 +1,25 @@
 // Scale: FedZKT at device scale. The paper evaluates with 10 devices;
 // real cross-device federations sample a few dozen clients per round out
-// of thousands. This example simulates a 1,000-device federation in one
-// process on the sharded round scheduler: uniform-K client sampling,
-// bounded workers, deterministic failure injection, and an optional
-// per-round deadline that drops stragglers from aggregation. The server
-// phase runs on the architecture-cohort replica store, sampling a teacher
-// subset per distillation iteration (-teachers-per-iter 0 restores the
-// paper-exact full ensemble).
+// of millions of enrolled devices. This example simulates such a
+// federation in one process on the sharded round scheduler: uniform-K
+// client sampling, bounded workers, deterministic failure injection, and
+// an optional per-round deadline that drops stragglers from aggregation.
+// The server phase runs on the architecture-cohort replica store,
+// sampling a teacher subset per distillation iteration
+// (-teachers-per-iter 0 restores the paper-exact full ensemble).
+//
+// With -replica-store spill the server keeps only an LRU hot set of
+// replica slots resident and spills cold devices to fixed-stride disk
+// files, with a prefetcher loading the next iterations' teacher draws
+// while distillation computes — memory bounded by the hot-set size, not
+// the device count. -shards N splits the store into independently locked
+// shards fanned out on the worker pool. -virtual-devices applies the same
+// treatment to the device side: models are materialised from a tiered
+// store only while a device participates. At ≥ 10,000 devices all three
+// are enabled automatically (and evaluation capped to -eval-devices), so
+// a million-device federation runs in one bounded-RSS process:
+//
+//	go run ./examples/scale -devices 1000000
 //
 // With -pipeline-depth ≥ 1 rounds run on the staged pipelined engine:
 // the server distills round r while round r+1 trains on-device, with
@@ -15,14 +28,14 @@
 // With -state-codec float16 or int8 the server keeps every replica slot
 // as a quantised buffer (2 or 1 bytes per element instead of 8) and the
 // simulated wire carries the same compact payloads — the memory/traffic
-// lever for pushing device counts further (see README "Compressed
-// state").
+// lever compounds with the spill tier (see README "Compressed state").
 //
 //	go run ./examples/scale
 //	go run ./examples/scale -devices 1000 -sample-k 32 -workers 8 -rounds 2
 //	go run ./examples/scale -devices 1000 -teachers-per-iter 16 -teacher-sampling weighted
 //	go run ./examples/scale -devices 1000 -sample-k 32 -pipeline-depth 2
-//	go run ./examples/scale -devices 1000 -sample-k 32 -state-codec int8
+//	go run ./examples/scale -devices 1000 -replica-store spill -shards 4 -hot-set 64
+//	go run ./examples/scale -devices 1000000 -rounds 2
 package main
 
 import (
@@ -33,11 +46,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/data"
 )
+
+// autoScaleDevices is the device count at which the example switches on
+// the bounded-memory machinery by default: spill-tier replica store,
+// sharded cohorts, virtual devices, capped evaluation.
+const autoScaleDevices = 10000
 
 func main() {
 	var (
@@ -45,7 +64,7 @@ func main() {
 		sampleK  = flag.Int("sample-k", 32, "clients sampled per round (uniform-K)")
 		workers  = flag.Int("workers", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
 		rounds   = flag.Int("rounds", 2, "communication rounds")
-		deadline = flag.Duration("round-deadline", 0, "per-round wall-clock budget (0 = none)")
+		deadline = flag.Duration("round-deadline", 0, "per-round wall-clock budget (0 = none; incompatible with virtual devices)")
 		failRate = flag.Float64("fail-rate", 0.05, "injected per-device-round failure probability")
 		weighted = flag.Bool("weighted", false, "weight client sampling by shard size")
 		seed     = flag.Uint64("seed", 42, "random seed")
@@ -56,6 +75,13 @@ func main() {
 		cohortReplicas  = flag.Int("cohort-replicas", 0, "live replica modules retained per architecture cohort (0 = automatic)")
 		pipelineDepth   = flag.Int("pipeline-depth", 0, "rounds in flight on the pipelined engine: the server distills round r while round r+1 trains on-device (0 = synchronous barrier)")
 		stateCodec      = flag.String("state-codec", "", "state codec for replica slots and wire payloads: float64 (dense, default), float16 (2 B/elem), int8 (1 B/elem, per-tensor affine)")
+
+		replicaStore = flag.String("replica-store", "auto", "server replica store: memory, spill (LRU hot set + disk tier), or auto (spill at ≥ 10,000 devices)")
+		shardCount   = flag.Int("shards", 0, "cohort store shards, registration/checkout fanned out per shard (0 = auto: 4 at ≥ 10,000 devices)")
+		hotSet       = flag.Int("hot-set", 0, "resident replica slots per cohort shard under the spill store (0 = sized to the teacher window)")
+		spillDir     = flag.String("spill-dir", "", "directory for spill files (default: a private temp dir, removed on exit)")
+		virtual      = flag.Bool("virtual-devices", false, "keep device models in a tiered store, materialised only while participating (auto-enabled at ≥ 10,000 devices)")
+		evalDevices  = flag.Int("eval-devices", -1, "devices in the per-round replica evaluation, 0 = all (-1 = auto: all below 10,000 devices, 256 beyond)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
@@ -94,20 +120,60 @@ func main() {
 		fmt.Printf("fast-math kernels on (hardware FMA: %v) — results are not byte-reproducible against exact mode\n", fedzkt.FastMathFMA())
 	}
 
-	fmt.Printf("simulating %d devices on %d CPU(s), sampling %d clients/round\n",
-		*devices, runtime.GOMAXPROCS(0), *sampleK)
+	// Beyond the auto-scale threshold, default to the bounded-memory
+	// configuration: every per-device cost (replica slots, device models,
+	// evaluation) must be O(hot set), not O(devices).
+	atScale := *devices >= autoScaleDevices
+	store := *replicaStore
+	if store == "auto" {
+		store = fedzkt.ReplicaStoreMemory
+		if atScale {
+			store = fedzkt.ReplicaStoreSpill
+		}
+	}
+	shards := *shardCount
+	if shards == 0 {
+		shards = 1
+		if atScale {
+			shards = 4
+		}
+	}
+	useVirtual := *virtual || (atScale && *deadline == 0)
+	evalN := *evalDevices
+	if evalN < 0 {
+		evalN = 0
+		if atScale {
+			evalN = 256
+		}
+	}
 
-	// Enough data for every device to hold a couple of samples.
+	fmt.Printf("simulating %d devices on %d CPU(s), sampling %d clients/round (store=%s shards=%d virtual=%v)\n",
+		*devices, runtime.GOMAXPROCS(0), *sampleK, store, shards, useVirtual)
+
+	// Enough data for every device to hold a couple of samples — but the
+	// dataset must not itself grow O(devices) forever, so cap it and give
+	// huge federations small overlapping strided shards instead.
 	perClass := (2*(*devices))/10 + 1
+	if perClass > 20000 {
+		perClass = 20000
+	}
 	ds := data.SynthMNIST(fedzkt.Sizes{TrainPerClass: perClass, TestPerClass: 10}, *seed)
-	shards := fedzkt.PartitionIID(ds.NumTrain(), *devices, *seed+1)
+	var dataShards [][]int
+	if n := ds.NumTrain(); 2*(*devices) > n {
+		dataShards = make([][]int, *devices)
+		for i := range dataShards {
+			dataShards[i] = []int{i % n, (i + 1) % n}
+		}
+	} else {
+		dataShards = fedzkt.PartitionIID(ds.NumTrain(), *devices, *seed+1)
+	}
 
 	build := time.Now()
 	co, err := fedzkt.New(fedzkt.Config{
 		// A deliberately small distillation budget: this demo is about
 		// scheduling and server scaling, not accuracy. With the default
 		// -teachers-per-iter the server samples a teacher subset per
-		// distillation iteration instead of forwarding all 1,000 replicas
+		// distillation iteration instead of forwarding every replica
 		// (set -teachers-per-iter 0 for the paper-exact full ensemble).
 		Rounds: *rounds, LocalEpochs: 1, DistillIters: 3, StudentSteps: 1,
 		DistillBatch: 8, BatchSize: 8, ZDim: 16,
@@ -119,14 +185,19 @@ func main() {
 		CohortReplicas: *cohortReplicas,
 		PipelineDepth:  *pipelineDepth,
 		StateCodec:     *stateCodec,
-		EvalEvery:      *rounds, // evaluating 1,000 device models is the slow part
-	}, ds, []string{"mlp", "lenet-s"}, shards)
+		ReplicaStore:   store, ReplicaShards: shards, HotSet: *hotSet,
+		SpillDir:       *spillDir,
+		VirtualDevices: useVirtual,
+		EvalDevices:    evalN,
+		EvalEvery:      *rounds, // evaluating every device model is the slow part
+	}, ds, []string{"mlp", "lenet-s"}, dataShards)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer co.Close()
 	srv := co.Server()
-	fmt.Printf("federation built (%d devices in %d architecture cohorts) in %s\n",
-		*devices, srv.NumCohorts(), time.Since(build).Round(time.Millisecond))
+	fmt.Printf("federation built (%d devices in %d architecture cohorts × %d shards) in %s\n",
+		*devices, srv.NumCohorts(), srv.ReplicaShards(), time.Since(build).Round(time.Millisecond))
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
@@ -139,14 +210,19 @@ func main() {
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	fmt.Printf("\nround | sampled | completed | dropped | injected | local time | server time | round time\n")
+	fmt.Printf("\nround | sampled | completed | dropped | injected | store hit | prefetch | spill r/w MB | local time | server time | round time\n")
 	for _, m := range hist {
-		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %10s | %11s | %s\n",
+		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %9s | %8d | %12s | %10s | %11s | %s\n",
 			m.Round, len(m.Active),
 			len(m.Active)-len(m.Dropped)-len(m.Injected),
 			len(m.Dropped), len(m.Injected),
+			hitPct(m.StoreHits, m.StoreMisses), m.StorePrefetched,
+			fmt.Sprintf("%.1f/%.1f", float64(m.SpillReadBytes)/1e6, float64(m.SpillWriteBytes)/1e6),
 			m.LocalElapsed.Round(time.Millisecond),
 			m.ServerElapsed.Round(time.Millisecond), m.Elapsed.Round(time.Millisecond))
+		if len(m.ReplicaFaults) > 0 {
+			fmt.Printf("      | replica faults (degraded, round continued): %v\n", m.ReplicaFaults)
+		}
 	}
 	stats := co.Pool().Stats()
 	fmt.Printf("\npolicy=%s  totals: completed=%d dropped=%d injected=%d\n",
@@ -161,13 +237,66 @@ func main() {
 		*teachersPerIter, srv.LiveReplicas(), *devices)
 	fmt.Printf("state: codec=%s, resident replica slots %d B total (%d B/device)\n",
 		srv.Codec().Name(), srv.ResidentStateBytes(), srv.ResidentStateBytes()/int64(*devices))
-	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f\n",
+	printStoreStats("replica store", srv.ReplicaStoreStats())
+	if useVirtual {
+		printStoreStats("device store", co.DeviceStoreStats())
+	}
+	fmt.Printf("global model accuracy: %.4f | mean device accuracy: %.4f",
 		hist.FinalGlobalAcc(), hist.FinalMeanDeviceAcc())
+	if evalN > 0 && evalN < *devices {
+		fmt.Printf(" (over %d evaluated devices)", evalN)
+	}
+	fmt.Println()
 	allocMB := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / (1 << 20)
 	gcPause := time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs) //nolint:gosec // monotonic counters
 	fmt.Printf("alloc: %.1f MB heap-allocated during the run, %d GCs, %s total GC pause (%.2f%% of wall)\n",
 		allocMB, msAfter.NumGC-msBefore.NumGC, gcPause.Round(time.Microsecond),
 		100*float64(gcPause)/float64(elapsed))
+	if rss, peak, ok := processRSS(); ok {
+		fmt.Printf("rss: %.0f MB now, %.0f MB peak — bounded by the hot set, not the device count\n", rss, peak)
+	}
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",
 		*devices, *rounds, elapsed.Round(time.Millisecond))
+}
+
+// hitPct renders a hot-set hit rate, or "—" when the store saw no
+// traffic (the in-memory mode).
+func hitPct(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+}
+
+// printStoreStats prints one tiered store's cumulative counters.
+func printStoreStats(name string, st fedzkt.ReplicaStoreStats) {
+	if st.Mode != fedzkt.ReplicaStoreSpill {
+		fmt.Printf("%s: mode=%s (fully resident)\n", name, st.Mode)
+		return
+	}
+	fmt.Printf("%s: mode=%s shards=%d, hot %d slots / %.1f MB, hit rate %.1f%%, prefetch overlap %.1f%% (%d issued, %d loaded)\n",
+		name, st.Mode, st.Shards, st.HotEntries, float64(st.HotBytes)/1e6,
+		100*st.HitRate(), 100*st.PrefetchOverlap(), st.PrefetchIssued, st.PrefetchLoaded)
+	fmt.Printf("%s: spill %d records, read %.1f MB / wrote %.1f MB, %d evictions, %d lazy init builds, %d faults\n",
+		name, st.SpillRecords, float64(st.SpillReadBytes)/1e6, float64(st.SpillWriteBytes)/1e6,
+		st.Evictions, st.InitBuilds, st.ReplicaFaults)
+}
+
+// processRSS reads current and peak resident-set size in MB from
+// /proc/self/status (Linux; ok=false elsewhere).
+func processRSS() (rss, peak float64, ok bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		var kb float64
+		if _, err := fmt.Sscanf(line, "VmRSS: %f kB", &kb); err == nil {
+			rss, ok = kb/1024, true
+		}
+		if _, err := fmt.Sscanf(line, "VmHWM: %f kB", &kb); err == nil {
+			peak, ok = kb/1024, true
+		}
+	}
+	return rss, peak, ok
 }

@@ -89,6 +89,21 @@ type (
 	Server = ifedzkt.Server
 	// LossKind selects the zero-shot disagreement loss.
 	LossKind = ifedzkt.LossKind
+	// ReplicaStoreStats snapshots the server's replica store: residency,
+	// hot-set hit rate, prefetch overlap and spill traffic.
+	ReplicaStoreStats = ifedzkt.ReplicaStoreStats
+)
+
+// Replica store modes for Config.ReplicaStore.
+const (
+	// ReplicaStoreMemory keeps every replica slot resident (the default).
+	ReplicaStoreMemory = ifedzkt.ReplicaStoreMemory
+	// ReplicaStoreSpill keeps an LRU hot set per cohort shard and spills
+	// cold replicas to fixed-stride disk files, bounding server memory by
+	// the hot-set size instead of the device count (the million-device
+	// regime; see Config.ReplicaStore, ReplicaShards, HotSet and
+	// VirtualDevices).
+	ReplicaStoreSpill = ifedzkt.ReplicaStoreSpill
 )
 
 // Disagreement losses (paper §III-B2).

@@ -1,0 +1,159 @@
+package codec
+
+// SpillFile is the disk tier of the server's replica store: a fixed-stride
+// record file keyed by a dense slot index. Each slot holds one encoded
+// state container (the same bytes a resident slot would hold), written
+// with pwrite/pread at slot·stride offsets so the file needs no index,
+// stays position-independent under concurrent readers, and — because
+// unwritten slots are never touched — stays sparse on filesystems that
+// support holes: a million-device federation whose rounds only ever touch
+// a few hundred replicas pays disk for exactly those records.
+//
+// A record is a 4-byte little-endian length prefix followed by the
+// container bytes. The prefix lets Read reject torn or foreign data
+// (length 0 or > the record capacity) with a clear error instead of
+// handing corrupt bytes to the container decoder, and tolerates codecs
+// whose container size varies slightly across installs.
+//
+// Write and Read are goroutine-safe for distinct slots (the underlying
+// pwrite/pwread are positional); callers serialise per-slot access, which
+// the tiered store's mutex already provides. The written bitmap and the
+// traffic counters are internally synchronised.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// spillHeader is the per-record length prefix size.
+const spillHeader = 4
+
+// SpillFile is an open fixed-stride spill store. Create one per
+// (shard, architecture) pair with CreateSpill.
+type SpillFile struct {
+	f         *os.File
+	path      string
+	recordCap int // max container bytes per record
+	stride    int64
+
+	mu      sync.Mutex
+	written []uint64 // bitmap over slot indices
+	records int      // population count of written
+
+	reads, writes         atomic.Int64
+	readBytes, writeBytes atomic.Int64
+}
+
+// CreateSpill creates (truncating) a spill file at path whose records hold
+// at most recordCap container bytes each.
+func CreateSpill(path string, recordCap int) (*SpillFile, error) {
+	if recordCap <= 0 {
+		return nil, fmt.Errorf("codec: spill record capacity %d must be positive", recordCap)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("codec: creating spill file: %w", err)
+	}
+	return &SpillFile{f: f, path: path, recordCap: recordCap, stride: int64(spillHeader + recordCap)}, nil
+}
+
+// RecordCap returns the maximum container bytes one record holds.
+func (s *SpillFile) RecordCap() int { return s.recordCap }
+
+// Path returns the backing file's path.
+func (s *SpillFile) Path() string { return s.path }
+
+// Write stores rec at slot, marking it written. len(rec) must be in
+// (0, RecordCap].
+func (s *SpillFile) Write(slot int, rec []byte) error {
+	if slot < 0 {
+		return fmt.Errorf("codec: spill write: negative slot %d", slot)
+	}
+	if len(rec) == 0 || len(rec) > s.recordCap {
+		return fmt.Errorf("codec: spill write slot %d: record is %d bytes, capacity %d", slot, len(rec), s.recordCap)
+	}
+	buf := make([]byte, spillHeader+len(rec))
+	binary.LittleEndian.PutUint32(buf, uint32(len(rec))) //nolint:gosec // bounded by recordCap
+	copy(buf[spillHeader:], rec)
+	if _, err := s.f.WriteAt(buf, int64(slot)*s.stride); err != nil {
+		return fmt.Errorf("codec: spill write slot %d: %w", slot, err)
+	}
+	s.writes.Add(1)
+	s.writeBytes.Add(int64(len(rec)))
+	s.mu.Lock()
+	word, bit := slot/64, uint(slot%64)
+	for len(s.written) <= word {
+		s.written = append(s.written, 0)
+	}
+	if s.written[word]&(1<<bit) == 0 {
+		s.written[word] |= 1 << bit
+		s.records++
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Written reports whether slot holds a record.
+func (s *SpillFile) Written(slot int) bool {
+	if slot < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	word, bit := slot/64, uint(slot%64)
+	return word < len(s.written) && s.written[word]&(1<<bit) != 0
+}
+
+// Read appends slot's record bytes to dst (pass dst[:0] to reuse a
+// buffer) and returns the extended slice. Reading an unwritten slot is an
+// error — callers consult Written (or their own residency state) first.
+func (s *SpillFile) Read(slot int, dst []byte) ([]byte, error) {
+	if !s.Written(slot) {
+		return nil, fmt.Errorf("codec: spill read: slot %d not written", slot)
+	}
+	var hdr [spillHeader]byte
+	off := int64(slot) * s.stride
+	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("codec: spill read slot %d: %w", slot, err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n == 0 || n > s.recordCap {
+		return nil, fmt.Errorf("codec: spill read slot %d: corrupt record length %d (capacity %d)", slot, n, s.recordCap)
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	if _, err := s.f.ReadAt(dst[start:], off+spillHeader); err != nil {
+		return nil, fmt.Errorf("codec: spill read slot %d: %w", slot, err)
+	}
+	s.reads.Add(1)
+	s.readBytes.Add(int64(n))
+	return dst, nil
+}
+
+// Records returns how many distinct slots hold a record.
+func (s *SpillFile) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Reads and Writes return the cumulative record I/O operation counts;
+// ReadBytes and WriteBytes the cumulative record payload traffic.
+func (s *SpillFile) Reads() int64      { return s.reads.Load() }
+func (s *SpillFile) Writes() int64     { return s.writes.Load() }
+func (s *SpillFile) ReadBytes() int64  { return s.readBytes.Load() }
+func (s *SpillFile) WriteBytes() int64 { return s.writeBytes.Load() }
+
+// Close closes and removes the backing file. Spill records are an
+// eviction tier of in-memory state, not a persistence format (checkpoints
+// are), so the file never outlives its store.
+func (s *SpillFile) Close() error {
+	err := s.f.Close()
+	if rmErr := os.Remove(s.path); err == nil {
+		err = rmErr
+	}
+	return err
+}

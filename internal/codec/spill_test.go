@@ -1,0 +1,154 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpillFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cohort.spill")
+	s, err := CreateSpill(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recA := bytes.Repeat([]byte{0xAB}, 64) // exactly at capacity
+	recB := []byte{1, 2, 3}
+	if err := s.Write(5, recA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, recB); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Records(); got != 2 {
+		t.Fatalf("Records=%d, want 2", got)
+	}
+	for _, tc := range []struct {
+		slot int
+		want []byte
+	}{{5, recA}, {0, recB}} {
+		got, err := s.Read(tc.slot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Fatalf("slot %d read %v, want %v", tc.slot, got, tc.want)
+		}
+	}
+
+	// Read appends to dst, preserving the prefix (the buffer-reuse
+	// contract the tiered store depends on).
+	prefix := []byte{9, 9}
+	got, err := s.Read(0, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append([]byte{9, 9}, recB...)) {
+		t.Fatalf("append-style read got %v", got)
+	}
+
+	// Overwriting a slot must not double-count it.
+	if err := s.Write(5, recB); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Records(); got != 2 {
+		t.Fatalf("Records after overwrite=%d, want 2", got)
+	}
+	got, err = s.Read(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, recB) {
+		t.Fatalf("overwritten slot read %v, want %v", got, recB)
+	}
+	if s.Reads() == 0 || s.Writes() == 0 || s.ReadBytes() == 0 || s.WriteBytes() == 0 {
+		t.Fatal("traffic counters did not advance")
+	}
+}
+
+func TestSpillFileErrors(t *testing.T) {
+	s, err := CreateSpill(filepath.Join(t.TempDir(), "x.spill"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := CreateSpill(filepath.Join(t.TempDir(), "y"), 0); err == nil {
+		t.Fatal("want error for non-positive record capacity")
+	}
+	if err := s.Write(-1, []byte{1}); err == nil {
+		t.Fatal("want error for negative slot")
+	}
+	if err := s.Write(0, nil); err == nil {
+		t.Fatal("want error for empty record")
+	}
+	if err := s.Write(0, make([]byte, 17)); err == nil {
+		t.Fatal("want error for record over capacity")
+	}
+	if _, err := s.Read(3, nil); err == nil {
+		t.Fatal("want error reading an unwritten slot")
+	}
+	if s.Written(3) || s.Written(-1) {
+		t.Fatal("unwritten slots reported as written")
+	}
+}
+
+// TestSpillFileCorruptRecord: a record whose on-disk length prefix was
+// damaged must surface as a clear error, not as garbage container bytes.
+func TestSpillFileCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.spill")
+	s, err := CreateSpill(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Write(2, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the slot's length prefix with a value beyond the capacity.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := f.WriteAt(hdr[:], 2*int64(4+32)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := s.Read(2, nil); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("want corrupt-record error, got %v", err)
+	}
+}
+
+// TestSpillFileSparse: slots live at fixed strides, so a huge slot index
+// costs logical file size but records stay addressable — and Close
+// removes the backing file (spill is an eviction tier, not persistence).
+func TestSpillFileSparseAndClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sparse.spill")
+	s, err := CreateSpill(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte{7}, 100)
+	if err := s.Write(1_000_000, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(1_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Fatal("high-slot record mismatch")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Close left the spill file behind: %v", err)
+	}
+}

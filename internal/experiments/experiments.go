@@ -104,6 +104,18 @@ type Params struct {
 	// scale experiment additionally sweeps all three codecs in its codec
 	// table regardless of this setting.
 	StateCodec string
+	// ReplicaStore selects every federation's server replica store
+	// ("memory" or "spill"); set by the -replica-store flag. The scale
+	// experiment additionally runs a spill-tier arm in its store table
+	// regardless of this setting.
+	ReplicaStore string
+	// ReplicaShards splits every federation's cohort store into that many
+	// independently locked shards (0 = 1); set by the -shards flag.
+	ReplicaShards int
+	// HotSet bounds the resident replica slots per cohort shard under the
+	// spill store (0 = sized to the teacher window); set by the -hot-set
+	// flag.
+	HotSet int
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -235,6 +247,9 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		CohortReplicas:  p.CohortReplicas,
 		PipelineDepth:   p.PipelineDepth,
 		StateCodec:      p.StateCodec,
+		ReplicaStore:    p.ReplicaStore,
+		ReplicaShards:   p.ReplicaShards,
+		HotSet:          p.HotSet,
 	}
 }
 

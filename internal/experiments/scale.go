@@ -64,8 +64,12 @@ func scalePipelineDepth(p Params) int {
 // every state codec and reports resident replica-slot bytes per device,
 // wire traffic per round, and the accuracy delta against the dense
 // float64 run — the memory/traffic/accuracy trade-off surface of the
-// codec subsystem. It is the regression harness for every future scaling
-// change.
+// codec subsystem. A third table re-runs the sampled arm on the
+// spill-tier replica store (sharded cohorts, virtual devices) and
+// reports hot-set hit rate, prefetch overlap, spill I/O, and whether the
+// run's fingerprint stayed byte-identical to the in-memory arm — a live
+// check of the storage layer's determinism contract. It is the
+// regression harness for every future scaling change.
 func ScaleSweep(p Params) (*Result, error) {
 	depth := scalePipelineDepth(p)
 	t := &Table{
@@ -81,6 +85,12 @@ func ScaleSweep(p Params) (*Result, error) {
 		Title: "State-codec trade-off on the sampled server arm (resident slot bytes, wire traffic, accuracy)",
 		Header: []string{"Devices", "Codec", "State B/device", "State ratio",
 			"Wire MB/round", "Global acc", "Δ acc vs float64"},
+	}
+	ts := &Table{
+		ID:    "scale-store",
+		Title: "Spill-tier replica store on the sampled server arm (hot-set traffic, spill I/O, byte-identity)",
+		Header: []string{"Devices", "Store", "Shards", "Hot slots", "Hit rate",
+			"Prefetch overlap", "Spill R/W MB", "Fingerprint vs memory"},
 	}
 	teachers := scaleTeachersPerIter(p)
 	counts := p.ScaleDevices
@@ -154,6 +164,38 @@ func ScaleSweep(p Params) (*Result, error) {
 		pipeSpeedup := "n/a"
 		if wallPiped > 0 {
 			pipeSpeedup = fmt.Sprintf("%.2f×", float64(wallSync)/float64(wallPiped))
+		}
+
+		// Spill-tier arm: the same sampled configuration on the tiered
+		// replica store with sharded cohorts and virtual devices. The
+		// store is a pure storage-layer change, so its history must be
+		// byte-identical to the in-memory run — the fingerprint column is
+		// a live determinism check, not just observability.
+		spillArm := sampled
+		spillArm.ReplicaStore = fedzkt.ReplicaStoreSpill
+		spillArm.ReplicaShards = max(2, sampled.ReplicaShards)
+		spillArm.VirtualDevices = sampled.RoundDeadline == 0
+		spillHist, spillCo, err := runScaleCell(spillArm, ds, archs, shards)
+		if err != nil {
+			return nil, fmt.Errorf("scale %d devices (spill store): %w", k, err)
+		}
+		st := spillCo.Server().ReplicaStoreStats()
+		match := "match"
+		if spillHist.Fingerprint() != hist.Fingerprint() {
+			match = "DIVERGED"
+		}
+		ts.AddRow(
+			fmt.Sprintf("%d", k),
+			st.Mode,
+			fmt.Sprintf("%d", st.Shards),
+			fmt.Sprintf("%d", st.HotEntries),
+			fmt.Sprintf("%.1f%%", 100*st.HitRate()),
+			fmt.Sprintf("%.1f%%", 100*st.PrefetchOverlap()),
+			fmt.Sprintf("%.2f/%.2f", float64(st.SpillReadBytes)/1e6, float64(st.SpillWriteBytes)/1e6),
+			match,
+		)
+		if err := spillCo.Close(); err != nil {
+			return nil, fmt.Errorf("scale %d devices (spill store close): %w", k, err)
 		}
 
 		// State-codec arms: the same sampled configuration under each
@@ -236,7 +278,7 @@ func ScaleSweep(p Params) (*Result, error) {
 			pct(hist.FinalMeanDeviceAcc()),
 		)
 	}
-	return &Result{Tables: []*Table{t, tc}}, nil
+	return &Result{Tables: []*Table{t, tc, ts}}, nil
 }
 
 // runScaleCell builds and runs one federation of the sweep.

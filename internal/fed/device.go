@@ -52,6 +52,15 @@ func (d *Device) SnapshotReceived() {
 	d.received = nn.CaptureState(d.Model).Clone()
 }
 
+// Evict drops the device's live model and proximal anchor. Used by the
+// virtual-device coordinator, which keeps a device's state in a tiered
+// store between rounds and rematerialises the model (restoring the
+// anchor through the download path) on the device's next participation.
+func (d *Device) Evict() {
+	d.Model = nil
+	d.received = nil
+}
+
 // LocalConfig configures a device's local training (Algorithm 2).
 type LocalConfig struct {
 	// Epochs is the number of local passes over the shard (T_l).

@@ -86,6 +86,22 @@ type RoundMetrics struct {
 	// 0 when the devices kept ahead of the server and in the synchronous
 	// engine.
 	UploadStall time.Duration
+	// ReplicaFaults lists devices the server dropped from this round's
+	// distillation or evaluation because their stored replica bytes failed
+	// to load or decode (e.g. a corrupt spill record) — the round degrades
+	// instead of the process dying. (Not part of Fingerprint: faults are
+	// an abnormal-operation signal, absent in healthy runs.)
+	ReplicaFaults []int
+	// StoreHits, StoreMisses and StorePrefetched count the server replica
+	// store's hot-set lookups this round: hits, cold loads, and cold loads
+	// the prefetcher absorbed. All zero for the in-memory store. (Not part
+	// of Fingerprint: store traffic depends on hot-set sizing and prefetch
+	// timing, which the arithmetic is independent of.)
+	StoreHits, StoreMisses, StorePrefetched int64
+	// SpillReadBytes and SpillWriteBytes count replica bytes moved between
+	// the hot set and the spill tier this round. (Not fingerprinted, as
+	// above.)
+	SpillReadBytes, SpillWriteBytes int64
 }
 
 // History is the per-round metrics trace of a full run.

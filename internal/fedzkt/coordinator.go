@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
@@ -111,6 +114,41 @@ type Config struct {
 	// work. For a fixed depth and seed, metrics are byte-identical across
 	// worker counts.
 	PipelineDepth int
+	// ReplicaStore selects where server replica slots live: "memory"
+	// (also the "" default — every slot resident, the pre-tier behaviour)
+	// or "spill" (an LRU hot set per cohort shard backed by fixed-stride
+	// spill files, bounding resident replica state by the hot-set size
+	// instead of the device count — the million-device regime). Stored
+	// bytes are identical either way, so exact-mode fingerprints are
+	// byte-identical across store modes.
+	ReplicaStore string
+	// ReplicaShards shards the server's cohort store: shard s owns every
+	// device with id ≡ s (mod N), with its own cohorts, module pools, hot
+	// sets and spill files, and checkouts fan out shard-local on the
+	// worker pool. 0 or 1 keeps a single shard; fingerprints are identical
+	// at any shard count.
+	ReplicaShards int
+	// HotSet bounds the resident entries of each cohort shard's hot set
+	// under the spill store (and the virtual-device store's per-arch hot
+	// set). 0 sizes it automatically: the full cohort in exact
+	// full-ensemble mode, a teacher-window multiple in sampled mode.
+	HotSet int
+	// SpillDir hosts the spill files ("" = a private temp directory,
+	// removed on Close).
+	SpillDir string
+	// VirtualDevices simulates devices without keeping per-device live
+	// models: a device's model is materialised from its seeded initial
+	// state (or its last download, kept in a per-arch tiered store) only
+	// while its local phase or evaluation runs, then evicted. Round
+	// outcomes are byte-identical to live devices; requires
+	// RoundDeadline = 0 (a straggler's partial local progress cannot
+	// survive eviction).
+	VirtualDevices bool
+	// EvalDevices, when positive, evaluates per-device accuracy on only
+	// the first EvalDevices devices instead of all of them (the scale
+	// regime; DeviceAcc and MeanDeviceAcc cover exactly that subset).
+	// 0 evaluates every device.
+	EvalDevices int
 	// StateCodec selects the state codec for server replica slots,
 	// simulated upload/download payloads, and checkpoints: "float64" (the
 	// identity encoding, also the "" default — byte-identical to the
@@ -207,6 +245,18 @@ func (c Config) validateCohorts() error {
 	if c.TeacherSampling == TeacherSamplingWeighted && c.TeachersPerIter == 0 {
 		return fmt.Errorf("fedzkt: TeacherSampling %q requires TeachersPerIter > 0 (the exact full-ensemble mode is unweighted by definition)", c.TeacherSampling)
 	}
+	if !validStoreMode(c.ReplicaStore) {
+		return storeModeError(c.ReplicaStore)
+	}
+	if c.ReplicaShards < 0 {
+		return fmt.Errorf("fedzkt: negative ReplicaShards %d", c.ReplicaShards)
+	}
+	if c.HotSet < 0 {
+		return fmt.Errorf("fedzkt: negative HotSet %d", c.HotSet)
+	}
+	if c.EvalDevices < 0 {
+		return fmt.Errorf("fedzkt: negative EvalDevices %d", c.EvalDevices)
+	}
 	return nil
 }
 
@@ -238,6 +288,26 @@ type Coordinator struct {
 	// fresh coordinator, advanced past every finalised round by Run, and
 	// restored by LoadCheckpoint, so a cancelled run can be resumed.
 	nextRound int
+
+	// Virtual-device mode (Config.VirtualDevices): device models exist
+	// only while their local phase or evaluation runs; between rounds a
+	// device is its last-downloaded state in devStore — one tiered store
+	// per architecture, always float64-encoded so the materialised model
+	// is bit-identical to a live device's. A virgin store entry is the
+	// device's seeded initial state, rebuilt on demand.
+	virtual       bool
+	f64           codec.Codec
+	devStore      map[string]*tieredSlots
+	devCounters   storeCounters
+	devSpillDir   string
+	devSpillOwned bool
+
+	// prevStore is the last round-boundary replica-store snapshot, diffed
+	// into each round's metrics.
+	prevStore ReplicaStoreStats
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds a coordinator over dataset ds with one device per shard,
@@ -258,6 +328,9 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 	}
 	if cfg.PipelineDepth < 0 {
 		return nil, fmt.Errorf("fedzkt: negative PipelineDepth %d", cfg.PipelineDepth)
+	}
+	if cfg.VirtualDevices && cfg.RoundDeadline > 0 {
+		return nil, fmt.Errorf("fedzkt: VirtualDevices requires RoundDeadline = 0 (a deadline straggler's partial local progress cannot survive model eviction)")
 	}
 	// Validate the scheduler configuration before the expensive device
 	// build: at device scale, constructing a thousand models just to
@@ -289,29 +362,169 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 		return nil, err
 	}
 	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler, codec: server.Codec(), nextRound: 1}
+	if cfg.VirtualDevices {
+		if err := c.initVirtual(archs); err != nil {
+			_ = server.Close()
+			return nil, err
+		}
+	}
 	for i := range shards {
 		arch := archs[i%len(archs)]
-		devModel, err := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
-		if err != nil {
-			return nil, fmt.Errorf("fedzkt: device %d: %w", i, err)
-		}
 		if len(shards[i]) == 0 {
+			_ = c.Close()
 			return nil, fmt.Errorf("fedzkt: device %d has an empty shard", i)
 		}
-		dev := fed.NewDevice(i, arch, devModel, data.NewSubset(ds, shards[i]))
-		// Registration: the device announces its architecture, initial
-		// parameters and data size; the server files the replica into the
-		// matching architecture cohort.
-		id, err := server.RegisterSized(arch, nn.CaptureState(devModel), len(shards[i]))
+		var dev *fed.Device
+		var id int
+		if cfg.VirtualDevices {
+			// No model is built: the device materialises from its seeded
+			// initial state on first participation, and the server's lazy
+			// (nil-initial) registration defines the replica as exactly
+			// that state — registration is O(1) per device under the
+			// tiered store.
+			dev = fed.NewDevice(i, arch, nil, data.NewSubset(ds, shards[i]))
+			id, err = server.RegisterSized(arch, nil, len(shards[i]))
+		} else {
+			devModel, berr := model.Build(arch, in, ds.Classes, tensor.NewRand(cfg.Seed+uint64(1000+i)))
+			if berr != nil {
+				_ = c.Close()
+				return nil, fmt.Errorf("fedzkt: device %d: %w", i, berr)
+			}
+			dev = fed.NewDevice(i, arch, devModel, data.NewSubset(ds, shards[i]))
+			// Registration: the device announces its architecture, initial
+			// parameters and data size; the server files the replica into
+			// the matching architecture cohort.
+			id, err = server.RegisterSized(arch, nn.CaptureState(devModel), len(shards[i]))
+		}
 		if err != nil {
+			_ = c.Close()
 			return nil, err
 		}
 		if id != i {
+			_ = c.Close()
 			return nil, fmt.Errorf("fedzkt: device id mismatch: %d != %d", id, i)
 		}
 		c.devices = append(c.devices, dev)
 	}
 	return c, nil
+}
+
+// initVirtual sets up the virtual-device stores: one tiered store per
+// architecture in use, always float64-encoded (the float64 container
+// round trip is bit-exact, so a materialised model matches a live
+// device's bit for bit regardless of the run's wire codec). Stores are
+// created eagerly so the map is read-only once rounds run concurrently.
+func (c *Coordinator) initVirtual(archs []string) error {
+	c.virtual = true
+	f64, err := codec.Get(codec.Float64)
+	if err != nil {
+		return fmt.Errorf("fedzkt: %w", err)
+	}
+	c.f64 = f64
+	dir := c.cfg.SpillDir
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "fedzkt-devspill-*"); err != nil {
+			return fmt.Errorf("fedzkt: creating device spill dir: %w", err)
+		}
+		c.devSpillOwned = true
+	}
+	c.devSpillDir = dir
+	c.devStore = make(map[string]*tieredSlots)
+	in := model.Shape{C: c.ds.C, H: c.ds.H, W: c.ds.W}
+	for _, arch := range archs {
+		if _, ok := c.devStore[arch]; ok {
+			continue
+		}
+		arch := arch
+		capFn := func() int {
+			if c.cfg.HotSet > 0 {
+				return c.cfg.HotSet
+			}
+			// Auto: cover one round's participants with slack, bounded
+			// below so tiny federations never thrash.
+			if k := 2 * c.cfg.SampleK; k > 256 {
+				return k
+			}
+			return 256
+		}
+		init := func(id int) ([]byte, error) {
+			m, err := model.Build(arch, in, c.ds.Classes, tensor.NewRand(c.cfg.Seed+uint64(1000+id)))
+			if err != nil {
+				return nil, err
+			}
+			return codec.Encode(c.f64, nn.CaptureState(m))
+		}
+		path := filepath.Join(dir, "dev-"+arch+".spill")
+		c.devStore[arch] = newTieredSlots(path, capFn, init, &c.devCounters)
+	}
+	return nil
+}
+
+// materialiseDevice rebuilds device id's live model for the duration of a
+// task: the seeded initial build, overlaid (via the download path, which
+// also restores the proximal anchor) with the device's last-downloaded
+// state when one exists. Runs on scheduler workers; the store serialises
+// slot access internally.
+func (c *Coordinator) materialiseDevice(id int) error {
+	d := c.devices[id]
+	in := model.Shape{C: c.ds.C, H: c.ds.H, W: c.ds.W}
+	m, err := model.Build(d.Arch, in, c.ds.Classes, tensor.NewRand(c.cfg.Seed+uint64(1000+id)))
+	if err != nil {
+		return fmt.Errorf("fedzkt: materialising device %d: %w", id, err)
+	}
+	d.Model = m
+	ts := c.devStore[d.Arch]
+	if ts.virgin(id) {
+		// Never downloaded: the seeded build is the device's exact state,
+		// and a live device would have no proximal anchor yet either.
+		return nil
+	}
+	enc, err := ts.get(id)
+	if err != nil {
+		return fmt.Errorf("fedzkt: materialising device %d: %w", id, err)
+	}
+	sd, err := codec.Decode(enc)
+	if err != nil {
+		return fmt.Errorf("fedzkt: materialising device %d: %w", id, err)
+	}
+	return d.Download(sd)
+}
+
+// DeviceStoreStats snapshots the virtual-device store (zero-valued, mode
+// "memory", when VirtualDevices is off).
+func (c *Coordinator) DeviceStoreStats() ReplicaStoreStats {
+	st := ReplicaStoreStats{Mode: ReplicaStoreMemory, Shards: 1}
+	if !c.virtual {
+		return st
+	}
+	st.Mode = ReplicaStoreSpill
+	st.Hits = c.devCounters.hits.Load()
+	st.Misses = c.devCounters.misses.Load()
+	st.InitBuilds = c.devCounters.initBuilds.Load()
+	st.Evictions = c.devCounters.evictions.Load()
+	for _, ts := range c.devStore {
+		ts.accumulateStats(&st)
+	}
+	return st
+}
+
+// Close releases the server (spill files, prefetcher) and the
+// virtual-device stores. Idempotent.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		c.closeErr = c.server.Close()
+		for _, ts := range c.devStore {
+			if err := ts.close(); err != nil && c.closeErr == nil {
+				c.closeErr = err
+			}
+		}
+		if c.devSpillOwned {
+			if err := os.RemoveAll(c.devSpillDir); err != nil && c.closeErr == nil {
+				c.closeErr = err
+			}
+		}
+	})
+	return c.closeErr
 }
 
 // buildSampler selects the client-sampling policy from the config:
@@ -402,6 +615,30 @@ func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
 // delivered — collapsing whatever in-flight local progress a cancelled
 // round left behind.
 func (c *Coordinator) reconcileDevices() error {
+	if c.virtual {
+		for _, d := range c.devices {
+			ref, err := c.server.cohorts.ref(d.ID)
+			if err != nil {
+				return fmt.Errorf("fedzkt: reconciling device %d: %w", d.ID, err)
+			}
+			ts := c.devStore[d.Arch]
+			if c.server.cohorts.virgin(ref) && ts.virgin(d.ID) {
+				// Both sides still hold the seeded initial state (a virgin
+				// slot's content is defined as exactly that), so there is
+				// nothing to copy — the skip that makes million-device
+				// resume O(touched devices), not O(devices).
+				continue
+			}
+			sd, err := c.server.ReplicaState(d.ID)
+			if err != nil {
+				return fmt.Errorf("fedzkt: reconciling device %d: %w", d.ID, err)
+			}
+			if err := ts.put(d.ID, c.f64, sd); err != nil {
+				return fmt.Errorf("fedzkt: reconciling device %d: %w", d.ID, err)
+			}
+		}
+		return nil
+	}
 	for _, d := range c.devices {
 		sd, err := c.server.ReplicaState(d.ID)
 		if err != nil {
@@ -487,14 +724,93 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		// 5. Evaluate.
 		if round%cfg.EvalEvery == 0 || round == cfg.Rounds {
 			m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
-			m.DeviceAcc = fed.EvaluateAllParallel(c.devices, c.ds, 64, cfg.poolWorkers())
+			m.DeviceAcc, err = c.deviceAccs()
+			if err != nil {
+				return hist, err
+			}
 			m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
 		}
+		c.finishRoundStats(&m)
 		m.Elapsed = time.Since(start)
 		hist = append(hist, m)
 		c.nextRound = round + 1
 	}
 	return hist, nil
+}
+
+// finishRoundStats folds the round's replica-store activity into its
+// metrics: the delta of the server store's counters since the last round
+// boundary, plus the drained replica-fault ids. None of these fields are
+// fingerprinted — store traffic depends on hot-set sizing and prefetch
+// timing, which the arithmetic is independent of by construction.
+func (c *Coordinator) finishRoundStats(m *fed.RoundMetrics) {
+	st := c.server.ReplicaStoreStats()
+	d := st.Sub(c.prevStore)
+	c.prevStore = st
+	m.StoreHits = d.Hits
+	m.StoreMisses = d.Misses
+	m.StorePrefetched = d.PrefetchHits
+	m.SpillReadBytes = d.SpillReadBytes
+	m.SpillWriteBytes = d.SpillWriteBytes
+	m.ReplicaFaults = c.server.TakeReplicaFaults()
+}
+
+// evalIDs returns the device ids per-device evaluation covers: every
+// device, or the deterministic EvalDevices-long prefix in the scale
+// regime.
+func (c *Coordinator) evalIDs() []int {
+	n := len(c.devices)
+	if c.cfg.EvalDevices > 0 && c.cfg.EvalDevices < n {
+		n = c.cfg.EvalDevices
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// deviceAccs evaluates per-device test accuracy for the synchronous
+// engine: live device models directly, or — in virtual mode —
+// materialised copies of each evaluated device's stored state (its last
+// download, or the seeded initial state when virgin), which is exactly
+// what the live model would hold at this round boundary.
+func (c *Coordinator) deviceAccs() ([]float64, error) {
+	ids := c.evalIDs()
+	if !c.virtual {
+		return fed.EvaluateAllParallel(c.devices[:len(ids)], c.ds, 64, c.cfg.poolWorkers()), nil
+	}
+	accs := make([]float64, len(ids))
+	in := model.Shape{C: c.ds.C, H: c.ds.H, W: c.ds.W}
+	var mu sync.Mutex
+	var firstErr error
+	sched.ForEachWorker(len(ids), c.cfg.poolWorkers(), func(i, _ int) {
+		id := ids[i]
+		d := c.devices[id]
+		m, err := model.Build(d.Arch, in, c.ds.Classes, tensor.NewRand(c.cfg.Seed+uint64(1000+id)))
+		if err == nil {
+			ts := c.devStore[d.Arch]
+			if !ts.virgin(id) {
+				var enc []byte
+				if enc, err = ts.get(id); err == nil {
+					var sd nn.StateDict
+					if sd, err = codec.Decode(enc); err == nil {
+						err = nn.LoadState(m, sd)
+					}
+				}
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fedzkt: evaluating device %d: %w", id, err)
+			}
+			mu.Unlock()
+			return
+		}
+		accs[i] = fed.Evaluate(m, c.ds, 64)
+	})
+	return accs, firstErr
 }
 
 // statePayload carries one model state across the simulated wire: the
@@ -528,8 +844,26 @@ func (c *Coordinator) publishDownload(id int) (statePayload, int, error) {
 	return statePayload{enc: b}, numel, nil
 }
 
-// applyDownload installs one published state into its device.
+// applyDownload installs one published state into its device: the live
+// model, or — in virtual mode — the device's store slot (the model was
+// already evicted after upload staging; a live device's model would hold
+// exactly these bytes after the download, which is what the next
+// materialisation reproduces).
 func (c *Coordinator) applyDownload(id int, p statePayload) error {
+	if c.virtual {
+		ts := c.devStore[c.devices[id].Arch]
+		sd := p.sd
+		if sd == nil {
+			var err error
+			if sd, err = codec.Decode(p.enc); err != nil {
+				return fmt.Errorf("fedzkt: device %d download: %w", id, err)
+			}
+		}
+		if err := ts.put(id, c.f64, sd); err != nil {
+			return fmt.Errorf("fedzkt: device %d download: %w", id, err)
+		}
+		return nil
+	}
 	if p.sd != nil {
 		return c.devices[id].Download(p.sd)
 	}
@@ -561,6 +895,13 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 		id := id
 		tasks[pos] = sched.Task{Device: id, Run: func(ctx context.Context) error {
 			rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<20 + uint64(id)<<4 + 0x5EED))
+			if c.virtual {
+				// Materialise the device's model from its stored state for
+				// the duration of this round (evicted after upload staging).
+				if err := c.materialiseDevice(id); err != nil {
+					return err
+				}
+			}
 			// The task owns its device for the duration of the run, so
 			// borrowing the worker's arena through the device is race-free.
 			c.devices[id].Scratch, _ = sched.Scratch(ctx).(*ag.Arena)
@@ -597,6 +938,18 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 		}
 		uploads[i] = statePayload{enc: payload}
 		m.BytesUp += fed.WireBytes(numel, c.codec.Width())
+	}
+	if c.virtual {
+		// The uploads are staged (independent copies); drop the live
+		// models. The trained state is deliberately not written back to the
+		// store: the device's next state is its download after this round's
+		// transfer-back, which applyDownload stores — exactly the state a
+		// live model would hold at the next round boundary. Injected
+		// devices never materialised, and deadline stragglers cannot exist
+		// (VirtualDevices requires RoundDeadline = 0).
+		for _, id := range completed {
+			c.devices[id].Evict()
+		}
 	}
 	return completed, uploads, nil
 }

@@ -52,6 +52,7 @@ func goldenRun(t *testing.T, mutate func(*Config)) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer co.Close() // removes any spill-tier temp dirs
 	hist, err := co.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

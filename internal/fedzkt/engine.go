@@ -135,9 +135,10 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 			}
 			if ub.round%cfg.EvalEvery == 0 || ub.round == cfg.Rounds {
 				m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
-				m.DeviceAcc = c.server.EvaluateReplicas(c.ds, 64, cfg.poolWorkers())
+				m.DeviceAcc = c.server.EvaluateReplicaSubset(c.ds, 64, cfg.poolWorkers(), c.evalIDs())
 				m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
 			}
+			c.finishRoundStats(&m)
 			m.Elapsed = time.Since(ub.start)
 			hist = append(hist, m)
 			// The local stage drains this channel until it is closed, so

@@ -3,8 +3,9 @@ package fedzkt
 import (
 	"context"
 	"fmt"
-	"math/rand/v2"
+	"os"
 	"runtime"
+	"sync"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
 	"github.com/fedzkt/fedzkt/internal/codec"
@@ -29,6 +30,11 @@ import (
 // draws T replica teachers (uniformly or weighted by device data size) and
 // transfers knowledge back into a rotating T-wide window of replicas, so
 // the per-iteration server cost is O(T) rather than O(devices).
+//
+// With ReplicaStore = "spill" the replica slots live in the tiered store
+// (replicastore.go) and the server holds memory proportional to the
+// hot-set size rather than the device count; Close releases the spill
+// files. The cohort store may additionally be sharded (ReplicaShards).
 type Server struct {
 	cfg Config
 	in  model.Shape
@@ -36,6 +42,13 @@ type Server struct {
 
 	cohorts *cohortSet
 	codec   codec.Codec
+
+	// spillDir hosts the tiered store's spill files; owned (and removed on
+	// Close) when the server created it itself.
+	spillDir      string
+	spillDirOwned bool
+	closeOnce     sync.Once
+	closeErr      error
 
 	global      nn.Module
 	gen         *model.Generator
@@ -68,7 +81,9 @@ type Server struct {
 }
 
 // NewServer constructs the server side for a dataset signature (input
-// shape + class count). Devices are registered afterwards.
+// shape + class count). Devices are registered afterwards. Call Close
+// when done — a no-op for the in-memory store, releasing the spill files
+// for the tiered store.
 func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validateCohorts(); err != nil {
@@ -90,16 +105,46 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 		// rebuilds).
 		retain = cfg.TeachersPerIter
 	}
-	s := &Server{
-		cfg:     cfg,
-		in:      in,
-		cls:     classes,
-		cohorts: newCohortSet(cfg.ServerLR, retain, cdc),
-		codec:   cdc,
-		global:  global,
-		gen:     model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
-		phase:   ag.NewArena(),
+	tiered := cfg.ReplicaStore == ReplicaStoreSpill
+	spillDir, spillDirOwned := cfg.SpillDir, false
+	if tiered && spillDir == "" {
+		if spillDir, err = os.MkdirTemp("", "fedzkt-spill-*"); err != nil {
+			return nil, fmt.Errorf("fedzkt: creating spill dir: %w", err)
+		}
+		spillDirOwned = true
 	}
+	s := &Server{
+		cfg:           cfg,
+		in:            in,
+		cls:           classes,
+		codec:         cdc,
+		spillDir:      spillDir,
+		spillDirOwned: spillDirOwned,
+		global:        global,
+		gen:           model.NewGenerator(cfg.ZDim, in, tensor.NewRand(cfg.Seed+13)),
+		phase:         ag.NewArena(),
+	}
+	s.cohorts = newCohortSet(cohortOptions{
+		lr:       cfg.ServerLR,
+		retain:   retain,
+		codec:    cdc,
+		shards:   cfg.ReplicaShards,
+		workers:  cfg.poolWorkers(),
+		tiered:   tiered,
+		hotSet:   cfg.HotSet,
+		teachers: cfg.TeachersPerIter,
+		spillDir: spillDir,
+		// A virgin tiered slot's content is defined as the device's seeded
+		// registration state, rebuilt here on first touch — bit-identical
+		// to what eager registration would have stored.
+		initState: func(arch string, id int) (nn.StateDict, error) {
+			m, err := model.Build(arch, in, classes, tensor.NewRand(cfg.Seed+uint64(1000+id)))
+			if err != nil {
+				return nil, err
+			}
+			return nn.CaptureState(m), nil
+		},
+	})
 	s.colMemo = ag.NewColMemo(s.phase)
 	s.phase.ShareColMemo(s.colMemo)
 	// Large matmuls fan out over the process-wide kernel gang from here on;
@@ -111,6 +156,21 @@ func NewServer(cfg Config, in model.Shape, classes int) (*Server, error) {
 	s.globalSched = optim.PaperSchedule(s.globalOpt, totalIters)
 	s.genSched = optim.PaperSchedule(s.genOpt, totalIters)
 	return s, nil
+}
+
+// Close stops the replica prefetcher and releases the tiered store's
+// spill files (removing the spill directory when the server created it).
+// A no-op for the in-memory store. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.cohorts.close()
+		if s.spillDirOwned {
+			if err := os.RemoveAll(s.spillDir); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
 }
 
 // Config returns the server's effective (defaulted) configuration.
@@ -128,6 +188,9 @@ func (s *Server) NumDevices() int { return s.cohorts.numDevices() }
 // NumCohorts returns the number of distinct registered architectures.
 func (s *Server) NumCohorts() int { return s.cohorts.numCohorts() }
 
+// ReplicaShards returns the cohort-store shard count in effect.
+func (s *Server) ReplicaShards() int { return s.cohorts.numShards() }
+
 // LiveReplicas returns how many live replica modules the cohort pools
 // currently retain — the server-memory quantity the cohort refactor
 // bounds (per-device parameter data always stays resident in the slots).
@@ -138,11 +201,23 @@ func (s *Server) LiveReplicas() int { return s.cohorts.liveModules() }
 func (s *Server) Codec() codec.Codec { return s.codec }
 
 // ResidentStateBytes returns the total resident size of every device's
-// replica slot: codec-container bytes under a quantised codec, dense
+// replica slot: hot-set bytes under the tiered store (spilled members
+// cost nothing), codec-container bytes under a quantised codec, dense
 // float64 bytes under the identity codec. This is the per-device memory
-// quantity the quantised codecs shrink up to 8×; live pooled modules are
-// accounted separately via LiveReplicas.
+// quantity the quantised codecs shrink up to 8× and the tiered store
+// bounds; live pooled modules are accounted separately via LiveReplicas.
 func (s *Server) ResidentStateBytes() int64 { return s.cohorts.stateBytes() }
+
+// ReplicaStoreStats snapshots the replica store: residency, hot-set
+// hit rate, prefetch overlap and spill traffic. Counters are cumulative;
+// callers diff snapshots (ReplicaStoreStats.Sub) for per-round deltas.
+func (s *Server) ReplicaStoreStats() ReplicaStoreStats { return s.cohorts.storeStats() }
+
+// TakeReplicaFaults drains the ids of members dropped from distillation
+// or evaluation because their stored replica bytes failed to load or
+// decode (a corrupt spill record degrades the round instead of killing
+// the process). Sorted ascending, deduped.
+func (s *Server) TakeReplicaFaults() []int { return s.cohorts.takeFaults() }
 
 // Register adds a device with the given architecture and initial state,
 // returning its assigned id, with a data-size weight of 1. See
@@ -155,11 +230,26 @@ func (s *Server) Register(arch string, initial nn.StateDict) (int, error) {
 // and data-size weight (typically its shard size), returning its assigned
 // id. The server stores the device's parameters in its architecture
 // cohort and installs the initial parameters when given; with a nil
-// initial state the replica keeps a seeded random initialisation.
+// initial state the replica keeps a seeded random initialisation — under
+// the tiered store that registration is O(1): no module is built and
+// nothing is stored until the slot is first touched (virgin slots
+// reconstruct the seeded state on demand, bit-identically).
 func (s *Server) RegisterSized(arch string, initial nn.StateDict, dataSize int) (int, error) {
 	id := s.cohorts.numDevices()
 	if dataSize < 0 {
 		return 0, fmt.Errorf("fedzkt: register device %d: negative data size %d", id, dataSize)
+	}
+	build := func() (nn.Module, error) {
+		// Pool modules are state-swapped before every use, so their own
+		// initial values never matter; the RNG only has to be valid.
+		return model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(2000+id)))
+	}
+	if s.cohorts.tiered && initial == nil {
+		got, err := s.cohorts.register(arch, nil, dataSize, build)
+		if err != nil {
+			return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
+		}
+		return got, nil
 	}
 	replica, err := model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(1000+id)))
 	if err != nil {
@@ -170,12 +260,7 @@ func (s *Server) RegisterSized(arch string, initial nn.StateDict, dataSize int) 
 			return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
 		}
 	}
-	build := func() (nn.Module, error) {
-		// Pool modules are state-swapped before every use, so their own
-		// initial values never matter; the RNG only has to be valid.
-		return model.Build(arch, s.in, s.cls, tensor.NewRand(s.cfg.Seed+uint64(2000+id)))
-	}
-	got, err := s.cohorts.add(arch, replica, dataSize, build)
+	got, err := s.cohorts.register(arch, nn.CaptureState(replica), dataSize, build)
 	if err != nil {
 		return 0, fmt.Errorf("fedzkt: register device %d: %w", id, err)
 	}
@@ -238,6 +323,11 @@ func (s *Server) ReplicaPayload(id int) ([]byte, int, error) {
 	}
 	return s.cohorts.payloadOf(ref)
 }
+
+// PrefetchReplicas hints that the given device ids will be checked out or
+// downloaded soon, warming the tiered store's hot sets in the background.
+// A no-op for the in-memory store; never blocks; values are unaffected.
+func (s *Server) PrefetchReplicas(ids []int) { s.cohorts.prefetch(ids) }
 
 // DeviceArch returns the architecture device id registered with.
 func (s *Server) DeviceArch(id int) (string, error) {
@@ -346,19 +436,24 @@ func (s *Server) teacherWeights(leases []*replicaLease) []float64 {
 // adversarialPhase is the first half of Algorithm 3: alternating generator
 // (max) and global model (min) steps on the disagreement loss over the
 // frozen teacher ensemble — the full ensemble in exact mode, a freshly
-// sampled T-subset per iteration in sampled mode.
+// sampled T-subset per iteration in sampled mode. In sampled mode the
+// teacher draw comes from a replayable sample stream, so the next
+// iteration's subset is known in advance and handed to the replica
+// prefetcher while the current iteration computes.
 func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, error) {
 	cfg := s.cfg
 	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xADE))
 
 	t := s.teachersPerIter()
-	var sampler sched.Sampler
-	var teacherRNG *rand.Rand
+	var stream *sched.SampleStream
 	if t > 0 {
-		sampler = s.teacherSampler(t)
 		// The teacher draw uses its own stream so the generator's z draws
-		// stay on the same sequence as the exact mode.
-		teacherRNG = tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0x7EAC))
+		// stay on the same sequence as the exact mode. Peeking only
+		// materialises draws the loop would make anyway, so the sequence —
+		// hence the fingerprint — is identical with prefetching on or off.
+		teacherRNG := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0x7EAC))
+		stream = sched.NewSampleStream(s.teacherSampler(t), s.cohorts.numDevices(), teacherRNG)
+		s.cohorts.prefetch(stream.Peek(0))
 	}
 
 	// Teachers are fixed functions this round: frozen and in eval mode.
@@ -366,8 +461,9 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 	// the pre-cohort implementation.
 	var phaseLeases []*replicaLease
 	if t == 0 {
-		phaseLeases = s.cohorts.checkout(s.cohorts.allIDs(), false, false)
-		defer s.cohorts.release(phaseLeases)
+		phaseLeases = compactLeases(s.cohorts.checkout(s.cohorts.allIDs(), false, false))
+		// Read-only leases release without I/O, so the error is always nil.
+		defer func() { _ = s.cohorts.release(phaseLeases) }()
 	}
 	s.gen.SetTraining(true)
 
@@ -381,8 +477,12 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		}
 		teachers := phaseLeases
 		if t > 0 {
-			ids := sampler.Sample(s.cohorts.numDevices(), teacherRNG)
-			teachers = s.cohorts.checkout(ids, false, false)
+			ids := stream.Next()
+			// Warm the next iteration's subset while this one computes.
+			// The final iteration peeks one draw past the phase, which only
+			// advances the phase-local teacher RNG.
+			s.cohorts.prefetch(stream.Peek(0))
+			teachers = compactLeases(s.cohorts.checkout(ids, false, false))
 		}
 		weights := s.teacherWeights(teachers)
 
@@ -429,7 +529,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		nn.SetTrainable(s.gen, true)
 
 		if t > 0 {
-			s.cohorts.release(teachers)
+			_ = s.cohorts.release(teachers) // read-only: cannot fail
 		}
 		s.globalSched.Tick()
 		s.genSched.Tick()
@@ -476,7 +576,9 @@ func (s *Server) teacherOuts(x *ag.Variable, teachers []*replicaLease) []*ag.Var
 // in sampled mode. The window position advances with the absolute
 // iteration index across rounds (not just within one round), so coverage
 // keeps cycling through the whole federation even when a single round's
-// DistillIters × t budget is smaller than the device count.
+// DistillIters × t budget is smaller than the device count. The window is
+// a pure function of (round, it), which is what lets the replica
+// prefetcher warm the next iteration's window during the current one.
 func (s *Server) transferBackIDs(round, it, t int) []int {
 	n := s.cohorts.numDevices()
 	if t == 0 || t >= n {
@@ -496,7 +598,7 @@ func (s *Server) transferBackIDs(round, it, t int) []int {
 // transferBackPhase is the second half of Algorithm 3 (lines 15-21):
 // distil the updated global model back into the replicas using the
 // trained generator and the KL loss of Eq. 8.
-func (s *Server) transferBackPhase(ctx context.Context, round int) error {
+func (s *Server) transferBackPhase(ctx context.Context, round int) (err error) {
 	cfg := s.cfg
 	rng := tensor.NewRand(cfg.Seed ^ (uint64(round)<<24 + 0xBAC))
 
@@ -515,8 +617,16 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 	t := s.teachersPerIter()
 	var phaseLeases []*replicaLease
 	if t == 0 {
-		phaseLeases = s.cohorts.checkout(s.cohorts.allIDs(), true, true)
-		defer s.cohorts.release(phaseLeases)
+		phaseLeases = compactLeases(s.cohorts.checkout(s.cohorts.allIDs(), true, true))
+		defer func() {
+			// Writable leases re-encode into the store on release; surface a
+			// spill-tier I/O failure unless the phase already failed.
+			if rerr := s.cohorts.release(phaseLeases); rerr != nil && err == nil {
+				err = rerr
+			}
+		}()
+	} else {
+		s.cohorts.prefetch(s.transferBackIDs(round, 0, t))
 	}
 
 	for it := 0; it < cfg.DistillIters; it++ {
@@ -535,7 +645,12 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 
 		batch := phaseLeases
 		if t > 0 {
-			batch = s.cohorts.checkout(s.transferBackIDs(round, it, t), true, true)
+			if it+1 < cfg.DistillIters {
+				// The next window is a pure function of (round, it), so it
+				// can warm while this iteration's replica steps run.
+				s.cohorts.prefetch(s.transferBackIDs(round, it+1, t))
+			}
+			batch = compactLeases(s.cohorts.checkout(s.transferBackIDs(round, it, t), true, true))
 		}
 
 		// One independent distillation step per resident replica, bounded
@@ -559,7 +674,9 @@ func (s *Server) transferBackPhase(ctx context.Context, round int) error {
 		})
 
 		if t > 0 {
-			s.cohorts.release(batch)
+			if err := s.cohorts.release(batch); err != nil {
+				return err
+			}
 		}
 		s.colMemo.Rebind(nil)
 		s.phase.Reset()
@@ -580,28 +697,42 @@ func (s *Server) EvaluateGlobal(ds *data.Dataset) float64 {
 // device that completed the round this matches the synchronous engine's
 // post-download device accuracy (stragglers are evaluated at their
 // distilled replica rather than their stale local model).
+func (s *Server) EvaluateReplicas(ds *data.Dataset, batchSize, workers int) []float64 {
+	return s.EvaluateReplicaSubset(ds, batchSize, workers, s.cohorts.allIDs())
+}
+
+// EvaluateReplicaSubset reports the test accuracy of the given devices'
+// server-side replica states, in ids order (the scale regime evaluates a
+// deterministic subset instead of a million replicas).
 //
 // Replicas are swapped into pooled live modules in bounded chunks of
-// workers (0 = GOMAXPROCS) and evaluated concurrently within a chunk, so
+// workers (0 = GOMAXPROCS) and evaluated concurrently within a chunk —
+// with the next chunk prefetching from the tiered store meanwhile — so
 // the cohort pools never grow beyond the chunk size on account of
 // evaluation. Accuracy depends only on the stored states, so the result
-// is identical for any worker count.
-func (s *Server) EvaluateReplicas(ds *data.Dataset, batchSize, workers int) []float64 {
-	n := s.cohorts.numDevices()
+// is identical for any worker count. A member whose replica fails to load
+// reports zero accuracy (and a recorded fault).
+func (s *Server) EvaluateReplicaSubset(ds *data.Dataset, batchSize, workers int, ids []int) []float64 {
+	n := len(ids)
 	accs := make([]float64, n)
 	chunk := workers
 	if chunk <= 0 {
 		chunk = runtime.GOMAXPROCS(0)
 	}
-	ids := s.cohorts.allIDs()
 	s.ensureWorkerArenas(sched.EffectiveWorkers(chunk, workers))
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
+		if hi < n {
+			s.cohorts.prefetch(ids[hi:min(hi+chunk, n)])
+		}
 		leases := s.cohorts.checkout(ids[lo:hi], false, false)
 		sched.ForEachWorker(hi-lo, workers, func(i, w int) {
+			if leases[i] == nil {
+				return // faulted member: dropped from this eval
+			}
 			accs[lo+i] = fed.EvaluateArena(leases[i].slot.module, ds, batchSize, s.workerArenas[w])
 		})
-		s.cohorts.release(leases)
+		_ = s.cohorts.release(leases) // read-only: cannot fail
 	}
 	return accs
 }

@@ -1,0 +1,291 @@
+package fedzkt
+
+// Tests for the tiered replica store (ISSUE 8): byte-identity of spill
+// and sharded runs against the in-memory single-shard reference,
+// degradation on corrupt spill records, checkpointing through a
+// populated spill tier, and the store-config validation surface.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/model"
+	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/partition"
+	"github.com/fedzkt/fedzkt/internal/tensor"
+)
+
+// memoryRef caches the in-memory reference fingerprint of the golden
+// configuration: every storage-layer arm in this file compares against
+// the same run, so pay for it once.
+var (
+	memoryRefOnce sync.Once
+	memoryRefFP   string
+)
+
+func memoryRef(t *testing.T) string {
+	memoryRefOnce.Do(func() { memoryRefFP = goldenRun(t, nil) })
+	if memoryRefFP == "" {
+		t.Fatal("empty in-memory reference fingerprint")
+	}
+	return memoryRefFP
+}
+
+// TestSpillStoreFingerprintGolden pins the tier's central contract: the
+// spill store is a pure storage-layer change, so an exact-mode golden
+// run must be byte-identical to the in-memory reference at every shard
+// count and worker count, even with a pathologically small hot set
+// forcing constant eviction traffic.
+func TestSpillStoreFingerprintGolden(t *testing.T) {
+	ref := memoryRef(t)
+	for shards := 1; shards <= 4; shards++ {
+		got := goldenRun(t, func(c *Config) {
+			c.ReplicaStore = ReplicaStoreSpill
+			c.ReplicaShards = shards
+			c.HotSet = 2
+		})
+		if got != ref {
+			t.Fatalf("spill store with %d shard(s) diverged from the in-memory reference:\nref:\n%s\ngot:\n%s", shards, ref, got)
+		}
+	}
+	got := goldenRun(t, func(c *Config) {
+		c.ReplicaStore = ReplicaStoreSpill
+		c.ReplicaShards = 2
+		c.HotSet = 2
+		c.Workers = 3
+	})
+	if got != ref {
+		t.Fatal("spill store diverged from the in-memory reference under Workers=3")
+	}
+}
+
+// TestSpillStoreFingerprintSampledTeachers: the same identity must hold
+// in sampled-teacher mode, where the prefetcher is actually exercised
+// (teacher draws come from the replayable sampling stream).
+func TestSpillStoreFingerprintSampledTeachers(t *testing.T) {
+	sampled := func(c *Config) {
+		c.DistillIters = 4
+		c.TeachersPerIter = 2
+	}
+	ref := goldenRun(t, sampled)
+	for _, shards := range []int{1, 3} {
+		got := goldenRun(t, func(c *Config) {
+			sampled(c)
+			c.ReplicaStore = ReplicaStoreSpill
+			c.ReplicaShards = shards
+			c.HotSet = 2
+		})
+		if got != ref {
+			t.Fatalf("sampled-mode spill store with %d shard(s) diverged from the in-memory reference", shards)
+		}
+	}
+}
+
+// TestVirtualDevicesFingerprintGolden: virtual devices (models
+// materialised from a tiered store only while participating) must be
+// byte-identical to live devices — a device's store-at-rest state is
+// exactly its last-applied download.
+func TestVirtualDevicesFingerprintGolden(t *testing.T) {
+	ref := memoryRef(t)
+	if got := goldenRun(t, func(c *Config) { c.VirtualDevices = true; c.HotSet = 2 }); got != ref {
+		t.Fatal("virtual devices diverged from the live-device reference")
+	}
+	got := goldenRun(t, func(c *Config) {
+		c.VirtualDevices = true
+		c.ReplicaStore = ReplicaStoreSpill
+		c.ReplicaShards = 2
+		c.HotSet = 2
+	})
+	if got != ref {
+		t.Fatal("virtual devices + spill store diverged from the live-device reference")
+	}
+}
+
+// TestCheckoutDegradesOnCorruptSpillRecord: a member whose spilled bytes
+// fail to load must be dropped from the phase and recorded as a fault —
+// the round degrades, the process survives (the pre-tier behaviour was a
+// panic in checkout).
+func TestCheckoutDegradesOnCorruptSpillRecord(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DistillIters = 2
+	cfg.ReplicaStore = ReplicaStoreSpill
+	cfg.HotSet = 1
+	cfg.SpillDir = t.TempDir()
+	srv, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 4; i++ {
+		m := model.MustBuild("mlp", tinyShape(), 4, tensor.NewRand(uint64(100+i)))
+		if _, err := srv.RegisterSized("mlp", nn.CaptureState(m), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := srv.cohorts.shards[0].byArch["mlp"].slots
+	if ts.file == nil || !ts.file.Written(0) {
+		t.Fatal("test setup: member 0 was not spilled (HotSet=1 should evict it)")
+	}
+	// Smash member 0's record length prefix on disk.
+	f, err := os.OpenFile(ts.file.Path(), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
+		t.Fatalf("distillation must degrade, not fail: %v", err)
+	}
+	faults := srv.TakeReplicaFaults()
+	if len(faults) == 0 || faults[0] != 0 {
+		t.Fatalf("TakeReplicaFaults=%v, want device 0 recorded", faults)
+	}
+	if got := srv.TakeReplicaFaults(); len(got) != 0 {
+		t.Fatalf("TakeReplicaFaults must drain, second call returned %v", got)
+	}
+	// The healthy members must still have moved.
+	st := srv.ReplicaStoreStats()
+	if st.ReplicaFaults == 0 {
+		t.Fatal("store stats did not count the fault")
+	}
+}
+
+// TestCheckpointRoundTripWithSpill: checkpoints must capture every
+// member wherever its bytes live — hot set or spill file — and restore
+// bit-exactly into another spill-tier server.
+func TestCheckpointRoundTripWithSpill(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DistillIters = 2
+	cfg.ReplicaStore = ReplicaStoreSpill
+	cfg.HotSet = 1
+	srv, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := srv.RegisterSized([]string{"mlp", "lenet-s"}[i%2], nil, 10+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move replicas away from their virgin states so the spill tier holds
+	// real (dirty-evicted) records.
+	if _, err := srv.Distill(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.ReplicaStoreStats(); st.SpillRecords == 0 {
+		t.Fatal("test setup: no members spilled before checkpointing")
+	}
+	blob, err := srv.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewServer(cfg, tinyShape(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4; id++ {
+		want, err := srv.ReplicaState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.ReplicaState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range want {
+			if tensor.MaxAbsDiff(got[name], want[name]) != 0 {
+				t.Fatalf("device %d state %q not restored bit-exactly through the spill tier", id, name)
+			}
+		}
+	}
+}
+
+// TestEvalDevicesSubset: EvalDevices caps the per-round replica
+// evaluation to a fixed prefix — the million-device run's way of keeping
+// evaluation O(constant).
+func TestEvalDevicesSubset(t *testing.T) {
+	ds := tinyDataset(3)
+	shards := partition.IID(ds.NumTrain(), 6, tensor.NewRand(4))
+	cfg := goldenConfig()
+	cfg.Rounds = 1
+	cfg.EvalDevices = 2
+	co, err := New(cfg, ds, []string{"mlp", "lenet-s"}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	hist, err := co.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(hist[len(hist)-1].DeviceAcc); got != 2 {
+		t.Fatalf("evaluated %d devices, want EvalDevices=2", got)
+	}
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unknown ReplicaStore", func(c *Config) { c.ReplicaStore = "bogus" }},
+		{"negative ReplicaShards", func(c *Config) { c.ReplicaShards = -1 }},
+		{"negative HotSet", func(c *Config) { c.HotSet = -2 }},
+		{"negative EvalDevices", func(c *Config) { c.EvalDevices = -1 }},
+	} {
+		cfg := tinyConfig()
+		tc.mutate(&cfg)
+		if _, err := NewServer(cfg, tinyShape(), 4); err == nil {
+			t.Fatalf("%s: want configuration error", tc.name)
+		}
+	}
+	// Virtual devices cannot coexist with a round deadline: a straggler's
+	// partial progress would not survive eviction.
+	ds := tinyDataset(3)
+	shards := partition.IID(ds.NumTrain(), 4, tensor.NewRand(4))
+	cfg := tinyConfig()
+	cfg.VirtualDevices = true
+	cfg.RoundDeadline = time.Second
+	if _, err := New(cfg, ds, []string{"mlp"}, shards); err == nil {
+		t.Fatal("want error for VirtualDevices with a RoundDeadline")
+	}
+}
+
+// TestReplicaStoreStatsMath pins the derived-ratio edge cases the
+// reports rely on.
+func TestReplicaStoreStatsMath(t *testing.T) {
+	var idle ReplicaStoreStats
+	if got := idle.HitRate(); got != 1 {
+		t.Fatalf("idle HitRate=%v, want 1", got)
+	}
+	if got := idle.PrefetchOverlap(); got != 0 {
+		t.Fatalf("idle PrefetchOverlap=%v, want 0", got)
+	}
+	st := ReplicaStoreStats{Hits: 6, Misses: 2, PrefetchHits: 6}
+	if got := st.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate=%v, want 0.75", got)
+	}
+	if got := st.PrefetchOverlap(); got != 0.75 {
+		t.Fatalf("PrefetchOverlap=%v, want 0.75", got)
+	}
+	d := ReplicaStoreStats{Hits: 10, Misses: 5, Evictions: 3}.Sub(ReplicaStoreStats{Hits: 4, Misses: 5, Evictions: 1})
+	if d.Hits != 6 || d.Misses != 0 || d.Evictions != 2 {
+		t.Fatalf("Sub delta = %+v", d)
+	}
+}

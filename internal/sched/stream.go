@@ -1,0 +1,45 @@
+package sched
+
+import "math/rand/v2"
+
+// SampleStream turns a Sampler into a replayable draw sequence with
+// lookahead. Every policy draws only from the supplied rng, so the k-th
+// draw of the stream is byte-identical to the k-th direct
+// s.Sample(n, rng) call on the same rng — whether or not it was peeked
+// first. That property is what lets the server's replica prefetcher see
+// future teacher subsets without perturbing the run's fingerprint: Peek
+// materialises draws ahead of time into a queue, Next hands them out in
+// order.
+//
+// A SampleStream is not goroutine-safe; the single phase goroutine that
+// owns the rng owns the stream.
+type SampleStream struct {
+	s     Sampler
+	n     int
+	rng   *rand.Rand
+	queue [][]int
+}
+
+// NewSampleStream wraps a sampler over a fixed population n and rng.
+func NewSampleStream(s Sampler, n int, rng *rand.Rand) *SampleStream {
+	return &SampleStream{s: s, n: n, rng: rng}
+}
+
+// Next returns the next draw of the sequence. The caller owns the
+// returned slice.
+func (st *SampleStream) Next() []int {
+	out := st.Peek(0)
+	st.queue = st.queue[1:]
+	return out
+}
+
+// Peek returns the draw Next will produce after ahead more Next calls
+// (Peek(0) is the immediate next draw), materialising draws into the
+// queue as needed. The returned slice is handed to the caller by the
+// matching Next call, so peekers must treat it as read-only.
+func (st *SampleStream) Peek(ahead int) []int {
+	for len(st.queue) <= ahead {
+		st.queue = append(st.queue, st.s.Sample(st.n, st.rng))
+	}
+	return st.queue[ahead]
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSampleStreamMatchesDirectDraws is the stream's core contract: the
+// k-th draw handed out by Next is byte-identical to the k-th direct
+// Sample call on an identically seeded rng, however the draws were
+// peeked beforehand. The replica prefetcher relies on this to look at
+// future teacher subsets without perturbing the run.
+func TestSampleStreamMatchesDirectDraws(t *testing.T) {
+	const n, draws = 50, 12
+	s, err := NewUniformK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := rand.New(rand.NewPCG(7, 9))
+	want := make([][]int, draws)
+	for i := range want {
+		want[i] = s.Sample(n, direct)
+	}
+
+	st := NewSampleStream(s, n, rand.New(rand.NewPCG(7, 9)))
+	for i := 0; i < draws; i++ {
+		// Vary the lookahead pattern: sometimes peek far ahead before
+		// consuming, sometimes not at all.
+		switch i % 3 {
+		case 0:
+			st.Peek(2)
+		case 1:
+			st.Peek(0)
+		}
+		got := st.Next()
+		if len(got) != len(want[i]) {
+			t.Fatalf("draw %d: got %v, want %v", i, got, want[i])
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("draw %d: got %v, want %v", i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSampleStreamPeekIsStable: peeking must not re-draw — Peek(k) and
+// the eventual Next must return the same subset.
+func TestSampleStreamPeekIsStable(t *testing.T) {
+	s, err := NewUniformK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewSampleStream(s, 20, rand.New(rand.NewPCG(1, 2)))
+	first := st.Peek(1)
+	again := st.Peek(1)
+	if &first[0] != &again[0] {
+		t.Fatal("repeated Peek re-drew instead of returning the queued draw")
+	}
+	st.Next()
+	handed := st.Next()
+	if &handed[0] != &first[0] {
+		t.Fatal("Next handed out a different draw than the peeked one")
+	}
+}

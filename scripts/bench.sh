@@ -3,7 +3,7 @@
 # summary so the performance trajectory is tracked from PR 5 on.
 #
 # Usage:
-#   ./scripts/bench.sh              # writes BENCH_7.json in the repo root
+#   ./scripts/bench.sh              # writes BENCH_8.json in the repo root
 #   ./scripts/bench.sh out.json     # explicit output path
 #   BENCHTIME=3x ./scripts/bench.sh # cheaper run (default 8x)
 #
@@ -11,20 +11,22 @@
 # kernels), the default parallel exact mode (byte-identical to Serial),
 # and Fast (-fast-math kernels, not byte-comparable). Serial-vs-parallel
 # and exact-vs-Fast deltas are both readable straight from the JSON.
+# The CohortCheckout pair prices the spill-tier replica store (cold
+# checkout: spill read + decode) against the in-memory slot path.
 #
 # The JSON is a flat object: run metadata plus one entry per benchmark
 # with ns/op, B/op and allocs/op, ready for jq / CI trend tooling:
-#   jq '.benchmarks[] | {name, ns_per_op}' BENCH_7.json
+#   jq '.benchmarks[] | {name, ns_per_op}' BENCH_8.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-8x}"
-PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward'
+PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward|BenchmarkCohortCheckoutMemory|BenchmarkCohortCheckoutSpill'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . | tee "$RAW"
+go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . ./internal/fedzkt | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
     -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
@@ -45,7 +47,7 @@ awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
 END {
 	printf "{\n"
 	printf "  \"schema\": \"fedzkt-bench/1\",\n"
-	printf "  \"pr\": 7,\n"
+	printf "  \"pr\": 8,\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"git\": \"%s\",\n", rev
 	printf "  \"go\": \"%s\",\n", gover
