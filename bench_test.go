@@ -24,6 +24,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/obs"
 	"github.com/fedzkt/fedzkt/internal/sched"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
@@ -256,6 +257,16 @@ func BenchmarkServerDistill100Teachers8Fast(b *testing.B) {
 	benchDistillServer(b, 8, false)
 }
 
+// BenchmarkServerDistill100Teachers8NoObs is the sampled arm with the
+// observability layer's span recording switched off. The pair
+// Teachers8 / Teachers8NoObs bounds the instrumentation overhead on the
+// hot server phase; the acceptance bar is ≤ 2% between them.
+func BenchmarkServerDistill100Teachers8NoObs(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchDistillServer(b, 8, false)
+}
+
 // benchPipelinedRound runs a full 100-device federation end to end at the
 // given pipeline depth: a full-ensemble server phase (the non-trivial
 // server work the pipeline is meant to hide) against 16 sampled devices
@@ -397,6 +408,15 @@ func benchLocalStep(b *testing.B, arena bool) {
 
 func BenchmarkLocalStepArena(b *testing.B)   { benchLocalStep(b, true) }
 func BenchmarkLocalStepNoArena(b *testing.B) { benchLocalStep(b, false) }
+
+// BenchmarkLocalStepArenaNoObs is the arena arm with span recording
+// switched off — the local-phase column of the instrumented-vs-
+// uninstrumented overhead table.
+func BenchmarkLocalStepArenaNoObs(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchLocalStep(b, true)
+}
 
 // --- Substrate micro-benchmarks ---
 

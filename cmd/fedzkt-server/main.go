@@ -20,6 +20,7 @@ import (
 
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/obs"
 	"github.com/fedzkt/fedzkt/internal/transport"
 )
 
@@ -44,12 +45,20 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		perClass  = fs.Int("per-class", 30, "training samples per class")
 		part      = fs.String("partition", "iid", "data partition regime: iid, quantity:<c>, dirichlet:<beta>")
-		minUp     = fs.Int("min-uploads", 0, "round quorum: min uploads before distilling without stragglers (0 = all active devices)")
-		upDeadl   = fs.Duration("upload-deadline", 0, "per-round upload collection deadline (0 = IO timeout)")
-		staleness = fs.Int("staleness-bound", 0, "rounds a late upload may lag and still be absorbed")
+		minUp         = fs.Int("min-uploads", 0, "round quorum: min uploads before distilling without stragglers (0 = all active devices)")
+		upDeadl       = fs.Duration("upload-deadline", 0, "per-round upload collection deadline (0 = IO timeout)")
+		staleness     = fs.Int("staleness-bound", 0, "rounds a late upload may lag and still be absorbed")
+		listenMetrics = fs.String("listen-metrics", "", "serve the live introspection endpoint on this address (/metrics, /debug/vars, /debug/trace, /debug/pprof; \":0\" picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listenMetrics != "" {
+		maddr, err := obs.ListenAndServe(*listenMetrics)
+		if err != nil {
+			return fmt.Errorf("listen-metrics: %w", err)
+		}
+		fmt.Printf("metrics listening on http://%s/metrics\n", maddr)
 	}
 
 	srv, err := transport.NewServer(transport.ServerConfig{

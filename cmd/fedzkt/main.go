@@ -22,6 +22,7 @@ import (
 	fedzkt "github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/experiments"
+	"github.com/fedzkt/fedzkt/internal/obs"
 )
 
 func main() {
@@ -55,11 +56,19 @@ func run(args []string) error {
 		shardCount      = fs.Int("shards", 0, "cohort store shards, registration/checkout fanned out per shard (0 = 1)")
 		hotSet          = fs.Int("hot-set", 0, "resident replica slots per cohort shard under the spill store (0 = sized to the teacher window)")
 
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
-		memProfile = fs.String("memprofile", "", "write an allocation profile taken at exit to this file (inspect with `go tool pprof -sample_index=alloc_objects`)")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProfile    = fs.String("memprofile", "", "write an allocation profile taken at exit to this file (inspect with `go tool pprof -sample_index=alloc_objects`)")
+		listenMetrics = fs.String("listen-metrics", "", "serve the live introspection endpoint on this address (/metrics, /debug/vars, /debug/trace, /debug/pprof; \":0\" picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listenMetrics != "" {
+		addr, err := obs.ListenAndServe(*listenMetrics)
+		if err != nil {
+			return fmt.Errorf("listen-metrics: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "fedzkt: metrics listening on http://%s/metrics\n", addr)
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)

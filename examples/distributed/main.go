@@ -17,11 +17,13 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/fed"
+	"github.com/fedzkt/fedzkt/internal/obs"
 	"github.com/fedzkt/fedzkt/internal/transport"
 )
 
@@ -78,12 +80,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nround | global acc | absorbed | late | dropped | wire up KiB | wire down KiB")
-	for _, m := range hist {
-		fmt.Printf("%5d | %10.4f | %8d | %4d | %7d | %11.1f | %13.1f\n",
-			m.Round, m.GlobalAcc, m.Absorbed, m.LateAbsorbed, m.DroppedUploads,
-			float64(m.BytesUp)/1024, float64(m.BytesDown)/1024)
-	}
+	fmt.Println()
+	report := obs.RoundReport{Columns: obs.DistributedColumns()}
+	report.Render(os.Stdout, hist.Rows())
 	for _, st := range srv.SessionStats() {
 		fmt.Printf("device %d (%s): %d resumes | wire %0.1f KiB up, %0.1f KiB down\n",
 			st.ID, st.Arch, st.Resumes, float64(st.BytesUp)/1024, float64(st.BytesDown)/1024)

@@ -51,6 +51,7 @@ import (
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/obs"
 )
 
 // autoScaleDevices is the device count at which the example switches on
@@ -83,10 +84,19 @@ func main() {
 		virtual      = flag.Bool("virtual-devices", false, "keep device models in a tiered store, materialised only while participating (auto-enabled at ≥ 10,000 devices)")
 		evalDevices  = flag.Int("eval-devices", -1, "devices in the per-round replica evaluation, 0 = all (-1 = auto: all below 10,000 devices, 256 beyond)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
-		memProfile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+		memProfile    = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		listenMetrics = flag.String("listen-metrics", "", "serve the live introspection endpoint on this address (/metrics, /debug/vars, /debug/trace, /debug/pprof; \":0\" picks a port)")
 	)
 	flag.Parse()
+
+	if *listenMetrics != "" {
+		addr, err := obs.ListenAndServe(*listenMetrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics listening on http://%s/metrics\n", addr)
+	}
 
 	// Registered first so it unwinds last: the CPU profile stops before
 	// the exit GC and allocation snapshot.
@@ -210,20 +220,9 @@ func main() {
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	fmt.Printf("\nround | sampled | completed | dropped | injected | store hit | prefetch | spill r/w MB | local time | server time | round time\n")
-	for _, m := range hist {
-		fmt.Printf("%5d | %7d | %9d | %7d | %8d | %9s | %8d | %12s | %10s | %11s | %s\n",
-			m.Round, len(m.Active),
-			len(m.Active)-len(m.Dropped)-len(m.Injected),
-			len(m.Dropped), len(m.Injected),
-			hitPct(m.StoreHits, m.StoreMisses), m.StorePrefetched,
-			fmt.Sprintf("%.1f/%.1f", float64(m.SpillReadBytes)/1e6, float64(m.SpillWriteBytes)/1e6),
-			m.LocalElapsed.Round(time.Millisecond),
-			m.ServerElapsed.Round(time.Millisecond), m.Elapsed.Round(time.Millisecond))
-		if len(m.ReplicaFaults) > 0 {
-			fmt.Printf("      | replica faults (degraded, round continued): %v\n", m.ReplicaFaults)
-		}
-	}
+	fmt.Println()
+	report := obs.RoundReport{Columns: obs.ScaleColumns(), Note: obs.FaultNote}
+	report.Render(os.Stdout, hist.Rows())
 	stats := co.Pool().Stats()
 	fmt.Printf("\npolicy=%s  totals: completed=%d dropped=%d injected=%d\n",
 		co.Sampler().Name(), stats.Completed.Load(), stats.Dropped.Load(), stats.Injected.Load())
@@ -257,15 +256,6 @@ func main() {
 	}
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",
 		*devices, *rounds, elapsed.Round(time.Millisecond))
-}
-
-// hitPct renders a hot-set hit rate, or "—" when the store saw no
-// traffic (the in-memory mode).
-func hitPct(hits, misses int64) string {
-	if hits+misses == 0 {
-		return "—"
-	}
-	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
 }
 
 // printStoreStats prints one tiered store's cumulative counters.

@@ -11,9 +11,11 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/fedzkt/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/data"
+	"github.com/fedzkt/fedzkt/internal/obs"
 )
 
 func main() {
@@ -40,12 +42,17 @@ func main() {
 		histories[p] = hist
 	}
 
-	fmt.Println("\nround | p=0.4 active | p=0.4 acc | p=1.0 acc")
+	// A comparative report: the p=1.0 column is a closure over the second
+	// history, indexed by row position.
 	h4, h10 := histories[0.4], histories[1.0]
-	for i := range h4 {
-		fmt.Printf("%5d | %12v | %9.4f | %9.4f\n",
-			h4[i].Round, h4[i].Active, h4[i].GlobalAcc, h10[i].GlobalAcc)
-	}
+	report := obs.RoundReport{Columns: []obs.Column{
+		obs.Col("round", func(_ int, r obs.RoundRow) string { return obs.FmtInt(r.Round) }),
+		obs.Col("p=0.4 active", func(i int, _ obs.RoundRow) string { return fmt.Sprintf("%v", h4[i].Active) }),
+		obs.Col("p=0.4 acc", func(_ int, r obs.RoundRow) string { return obs.FmtAcc(r.GlobalAcc) }),
+		obs.Col("p=1.0 acc", func(i int, _ obs.RoundRow) string { return obs.FmtAcc(h10[i].GlobalAcc) }),
+	}}
+	fmt.Println()
+	report.Render(os.Stdout, h4.Rows())
 	fmt.Println("\nwith most devices participating, stragglers barely dent the curve —")
 	fmt.Println("the server's replicas keep every architecture in the ensemble.")
 }

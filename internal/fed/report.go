@@ -1,0 +1,37 @@
+package fed
+
+import "github.com/fedzkt/fedzkt/internal/obs"
+
+// Rows converts the history into the renderer-facing obs.RoundRow form.
+// obs cannot import fed (the scheduler below fed already depends on obs),
+// so the conversion lives on the history type and the examples hand the
+// rows straight to obs.RoundReport.
+func (h History) Rows() []obs.RoundRow {
+	rows := make([]obs.RoundRow, len(h))
+	for i, m := range h {
+		rows[i] = obs.RoundRow{
+			Round:           m.Round,
+			Sampled:         len(m.Active),
+			Dropped:         len(m.Dropped),
+			Injected:        len(m.Injected),
+			Completed:       len(m.Active) - len(m.Dropped) - len(m.Injected),
+			Absorbed:        m.Absorbed,
+			LateAbsorbed:    m.LateAbsorbed,
+			DroppedUploads:  m.DroppedUploads,
+			GlobalAcc:       m.GlobalAcc,
+			MeanDeviceAcc:   m.MeanDeviceAcc,
+			BytesUp:         m.BytesUp,
+			BytesDown:       m.BytesDown,
+			StoreHits:       m.StoreHits,
+			StoreMisses:     m.StoreMisses,
+			StorePrefetched: m.StorePrefetched,
+			SpillReadBytes:  m.SpillReadBytes,
+			SpillWriteBytes: m.SpillWriteBytes,
+			ReplicaFaults:   append([]int(nil), m.ReplicaFaults...),
+			LocalElapsed:    m.LocalElapsed,
+			ServerElapsed:   m.ServerElapsed,
+			Elapsed:         m.Elapsed,
+		}
+	}
+	return rows
+}

@@ -649,6 +649,7 @@ func (cs *cohortSet) installPayload(ref deviceRef, payload []byte) error {
 // RoundMetrics.ReplicaFaults, and its pool slot is reused by the next
 // member. Every checkout must be paired with exactly one release.
 func (cs *cohortSet) checkout(ids []int, trainable, training bool) []*replicaLease {
+	defer tracer().Begin("store", "teacher_checkout").End()
 	leases := make([]*replicaLease, len(ids))
 	if len(cs.shards) == 1 {
 		cs.checkoutShard(ids, nil, leases, trainable, training)

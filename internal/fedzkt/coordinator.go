@@ -15,6 +15,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/obs"
 	"github.com/fedzkt/fedzkt/internal/sched"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
@@ -306,6 +307,11 @@ type Coordinator struct {
 	// into each round's metrics.
 	prevStore ReplicaStoreStats
 
+	// metrics is the coordinator's registry view (obsinstr.go): per-round
+	// counters and phase histograms on the live metrics endpoint. Purely
+	// observational — fingerprinted arithmetic never reads it.
+	metrics *fedMetrics
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -362,6 +368,8 @@ func New(cfg Config, ds *data.Dataset, archs []string, shards [][]int) (*Coordin
 		return nil, err
 	}
 	c := &Coordinator{cfg: cfg, ds: ds, server: server, pool: pool, sampler: sampler, codec: server.Codec(), nextRound: 1}
+	c.metrics = newFedMetrics(obs.Default(), server)
+	pool.RegisterMetrics(obs.Default())
 	if cfg.VirtualDevices {
 		if err := c.initVirtual(archs); err != nil {
 			_ = server.Close()
@@ -677,6 +685,7 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		}
 		start := time.Now()
 		m := fed.RoundMetrics{Round: round}
+		roundSpan := tracer().Begin("fed", "round").WithRound(round)
 
 		// 1. Select this round's participants (client-sampling policy).
 		active := c.sampler.Sample(len(c.devices), roundRNG)
@@ -686,23 +695,31 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		// upload. Devices that miss the deadline or are failure-injected
 		// drop out of this round's aggregation.
 		localStart := time.Now()
+		localSpan := tracer().Begin("fed", "local_phase").WithRound(round).WithParent(roundSpan.ID())
 		completed, uploads, err := c.localPhase(ctx, round, active, &m)
+		localSpan.End()
 		if err != nil {
+			roundSpan.End()
 			return hist, err
 		}
 		m.LocalElapsed = time.Since(localStart)
 		if err := ctx.Err(); err != nil {
+			roundSpan.End()
 			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
 		}
 		if err := c.absorbUploads(completed, uploads); err != nil {
+			roundSpan.End()
 			return hist, err
 		}
 		m.Absorbed = len(completed)
 
 		// 3. Server update (Algorithm 3).
 		serverStart := time.Now()
+		distillSpan := tracer().Begin("fed", "server_distill").WithRound(round).WithParent(roundSpan.ID())
 		gn, err := c.server.Distill(ctx, round)
+		distillSpan.End()
 		if err != nil {
+			roundSpan.End()
 			return hist, fmt.Errorf("fedzkt: round %d: %w", round, err)
 		}
 		m.ServerElapsed = time.Since(serverStart)
@@ -713,9 +730,11 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		for _, id := range completed {
 			p, numel, err := c.publishDownload(id)
 			if err != nil {
+				roundSpan.End()
 				return hist, err
 			}
 			if err := c.applyDownload(id, p); err != nil {
+				roundSpan.End()
 				return hist, err
 			}
 			m.BytesDown += fed.WireBytes(numel, c.codec.Width())
@@ -723,15 +742,20 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 
 		// 5. Evaluate.
 		if round%cfg.EvalEvery == 0 || round == cfg.Rounds {
+			evalSpan := tracer().Begin("fed", "evaluate").WithRound(round).WithParent(roundSpan.ID())
 			m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
 			m.DeviceAcc, err = c.deviceAccs()
+			evalSpan.End()
 			if err != nil {
+				roundSpan.End()
 				return hist, err
 			}
 			m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
 		}
 		c.finishRoundStats(&m)
 		m.Elapsed = time.Since(start)
+		roundSpan.End()
+		c.metrics.observeRound(&m)
 		hist = append(hist, m)
 		c.nextRound = round + 1
 	}

@@ -113,7 +113,11 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 				return
 			}
 			serverStart := time.Now()
+			// The server stage renders on its own trace track (tid 1):
+			// under the pipeline its spans overlap the local stage's.
+			distillSpan := tracer().Begin("fed", "server_distill").WithRound(ub.round).WithTID(1)
 			gn, err := c.server.Distill(runCtx, ub.round)
+			distillSpan.End()
 			if err != nil {
 				serverErr = fmt.Errorf("fedzkt: round %d: %w", ub.round, err)
 				cancel()
@@ -134,12 +138,15 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 				m.BytesDown += fed.WireBytes(numel, c.codec.Width())
 			}
 			if ub.round%cfg.EvalEvery == 0 || ub.round == cfg.Rounds {
+				evalSpan := tracer().Begin("fed", "evaluate").WithRound(ub.round).WithTID(1)
 				m.GlobalAcc = c.server.EvaluateGlobal(c.ds)
 				m.DeviceAcc = c.server.EvaluateReplicaSubset(c.ds, 64, cfg.poolWorkers(), c.evalIDs())
+				evalSpan.End()
 				m.MeanDeviceAcc = fed.Mean(m.DeviceAcc)
 			}
 			c.finishRoundStats(&m)
 			m.Elapsed = time.Since(ub.start)
+			c.metrics.observeRound(&m)
 			hist = append(hist, m)
 			// The local stage drains this channel until it is closed, so
 			// the send cannot block indefinitely.
@@ -190,7 +197,9 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 		active := c.sampler.Sample(len(c.devices), roundRNG)
 		m.Active = active
 		start := time.Now()
+		localSpan := tracer().Begin("fed", "local_phase").WithRound(round)
 		completed, ups, err := c.localPhase(runCtx, round, active, &m)
+		localSpan.End()
 		if err != nil {
 			localErr = err
 			break

@@ -242,11 +242,15 @@ func (ts *tieredSlots) evictOver() error {
 			break
 		}
 		if e.dirty {
+			span := tracer().Begin("store", "spill_write")
 			if err := ts.ensureFile(len(e.enc)); err != nil {
+				span.End()
 				ts.counters.spillWriteErrors.Add(1)
 				return err
 			}
-			if err := ts.file.Write(e.local, e.enc); err != nil {
+			err := ts.file.Write(e.local, e.enc)
+			span.End()
+			if err != nil {
 				ts.counters.spillWriteErrors.Add(1)
 				return err
 			}
@@ -279,7 +283,10 @@ func (ts *tieredSlots) ensureFile(recLen int) error {
 // hold mu.
 func (ts *tieredSlots) load(local int) ([]byte, error) {
 	if ts.file != nil && ts.file.Written(local) {
-		return ts.file.Read(local, nil)
+		span := tracer().Begin("store", "spill_load")
+		b, err := ts.file.Read(local, nil)
+		span.End()
+		return b, err
 	}
 	ts.counters.initBuilds.Add(1)
 	return ts.init(local)

@@ -349,11 +349,16 @@ func (s *Server) Distill(ctx context.Context, round int) (float64, error) {
 	if s.cohorts.numDevices() == 0 {
 		return 0, fmt.Errorf("fedzkt: distill with no registered devices")
 	}
+	advSpan := tracer().Begin("distill", "adversarial_phase").WithRound(round)
 	gn, err := s.adversarialPhase(ctx, round)
+	advSpan.End()
 	if err != nil {
 		return 0, err
 	}
-	if err := s.transferBackPhase(ctx, round); err != nil {
+	tbSpan := tracer().Begin("distill", "transfer_back").WithRound(round)
+	err = s.transferBackPhase(ctx, round)
+	tbSpan.End()
+	if err != nil {
 		return 0, err
 	}
 	return gn, nil
@@ -475,6 +480,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("fedzkt: adversarial phase cancelled at iteration %d of round %d: %w", it, round, err)
 		}
+		iterSpan := tracer().Begin("distill", "distill_iteration").WithRound(round).WithTID(it)
 		teachers := phaseLeases
 		if t > 0 {
 			ids := stream.Next()
@@ -533,6 +539,7 @@ func (s *Server) adversarialPhase(ctx context.Context, round int) (float64, erro
 		}
 		s.globalSched.Tick()
 		s.genSched.Tick()
+		iterSpan.End()
 	}
 	if gradNormCount == 0 {
 		return 0, nil

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live introspection mux over the given registry and
+// tracer (nil means the process-wide defaults):
+//
+//	/metrics           Prometheus text exposition
+//	/debug/vars        expvar-style JSON snapshot of the registry
+//	/debug/trace       Chrome trace_event JSON dump of the span ring
+//	/debug/pprof/...   net/http/pprof profiles
+func Handler(r *Registry, t *Tracer) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	if t == nil {
+		t = DefaultTracer()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.WriteTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr (":0" picks a free port), serves the default
+// introspection handler on it in a background goroutine, and returns the
+// bound address. The listener lives for the rest of the process — the
+// binaries that call this print the address and let process exit tear it
+// down.
+func ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler(nil, nil)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

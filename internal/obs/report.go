@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RoundRow is the renderer-facing view of one communication round. The
+// federation runtime converts its own metrics type into this (obs cannot
+// import it without a cycle), and examples add derived columns as
+// closures over the row.
+type RoundRow struct {
+	Round                      int
+	Sampled, Dropped, Injected int
+	Completed                  int
+	Absorbed, LateAbsorbed     int
+	DroppedUploads             int
+	GlobalAcc, MeanDeviceAcc   float64
+	BytesUp, BytesDown         int64
+	StoreHits, StoreMisses     int64
+	StorePrefetched            int64
+	SpillReadBytes             int64
+	SpillWriteBytes            int64
+	ReplicaFaults              []int
+	LocalElapsed               time.Duration
+	ServerElapsed              time.Duration
+	Elapsed                    time.Duration
+}
+
+// Column is one report column: a header and a cell renderer. The renderer
+// receives the row index as well as the row so comparative reports can
+// close over a second history.
+type Column struct {
+	Header string
+	Value  func(i int, r RoundRow) string
+}
+
+// Col builds a column. Sugar for composing report layouts inline.
+func Col(header string, value func(i int, r RoundRow) string) Column {
+	return Column{Header: header, Value: value}
+}
+
+// RoundReport renders per-round rows as one aligned table — the single
+// renderer behind every example's printout, replacing their hand-rolled
+// format strings. Note, when set, may return an extra annotation line
+// printed under a row (empty string = none).
+type RoundReport struct {
+	Columns []Column
+	Note    func(i int, r RoundRow) string
+}
+
+// Render writes the header and one line per row, columns right-aligned
+// and separated by " | ".
+func (rep RoundReport) Render(w io.Writer, rows []RoundRow) {
+	cells := make([][]string, len(rows))
+	widths := make([]int, len(rep.Columns))
+	for j, c := range rep.Columns {
+		widths[j] = len([]rune(c.Header))
+	}
+	for i, r := range rows {
+		cells[i] = make([]string, len(rep.Columns))
+		for j, c := range rep.Columns {
+			s := c.Value(i, r)
+			cells[i][j] = s
+			if n := len([]rune(s)); n > widths[j] {
+				widths[j] = n
+			}
+		}
+	}
+	var b strings.Builder
+	for j, c := range rep.Columns {
+		if j > 0 {
+			b.WriteString(" | ")
+		}
+		pad(&b, c.Header, widths[j])
+	}
+	b.WriteByte('\n')
+	for i := range rows {
+		for j := range rep.Columns {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			pad(&b, cells[i][j], widths[j])
+		}
+		b.WriteByte('\n')
+		if rep.Note != nil {
+			if note := rep.Note(i, rows[i]); note != "" {
+				fmt.Fprintf(&b, "      | %s\n", note)
+			}
+		}
+	}
+	io.WriteString(w, b.String())
+}
+
+// pad right-aligns s in a field of width w (rune-counted, so the report's
+// em-dash and percent cells line up).
+func pad(b *strings.Builder, s string, w int) {
+	for n := len([]rune(s)); n < w; n++ {
+		b.WriteByte(' ')
+	}
+	b.WriteString(s)
+}
+
+// Shared cell formatters, so every example renders the same quantity the
+// same way.
+
+// FmtInt renders v in base 10.
+func FmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+// FmtAcc renders an accuracy with 4 decimals.
+func FmtAcc(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// FmtKiB renders a byte count in KiB with 1 decimal.
+func FmtKiB(v int64) string { return fmt.Sprintf("%.1f", float64(v)/1024) }
+
+// FmtMB renders a byte count in MB with 1 decimal.
+func FmtMB(v int64) string { return fmt.Sprintf("%.1f", float64(v)/1e6) }
+
+// FmtDur renders a duration rounded to milliseconds.
+func FmtDur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// FmtHitPct renders a hit rate from hit/miss counts, or "—" when the
+// underlying store saw no traffic (the fully-resident mode).
+func FmtHitPct(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+}
+
+// ScaleColumns is the device-scale report layout: participation,
+// replica-store traffic and phase timings per round.
+func ScaleColumns() []Column {
+	return []Column{
+		Col("round", func(_ int, r RoundRow) string { return FmtInt(r.Round) }),
+		Col("sampled", func(_ int, r RoundRow) string { return FmtInt(r.Sampled) }),
+		Col("completed", func(_ int, r RoundRow) string { return FmtInt(r.Completed) }),
+		Col("dropped", func(_ int, r RoundRow) string { return FmtInt(r.Dropped) }),
+		Col("injected", func(_ int, r RoundRow) string { return FmtInt(r.Injected) }),
+		Col("store hit", func(_ int, r RoundRow) string { return FmtHitPct(r.StoreHits, r.StoreMisses) }),
+		Col("prefetch", func(_ int, r RoundRow) string { return fmt.Sprintf("%d", r.StorePrefetched) }),
+		Col("spill r/w MB", func(_ int, r RoundRow) string {
+			return FmtMB(r.SpillReadBytes) + "/" + FmtMB(r.SpillWriteBytes)
+		}),
+		Col("local time", func(_ int, r RoundRow) string { return FmtDur(r.LocalElapsed) }),
+		Col("server time", func(_ int, r RoundRow) string { return FmtDur(r.ServerElapsed) }),
+		Col("round time", func(_ int, r RoundRow) string { return FmtDur(r.Elapsed) }),
+	}
+}
+
+// DistributedColumns is the networked-run report layout: accuracy,
+// absorb accounting and wire traffic per round.
+func DistributedColumns() []Column {
+	return []Column{
+		Col("round", func(_ int, r RoundRow) string { return FmtInt(r.Round) }),
+		Col("global acc", func(_ int, r RoundRow) string { return FmtAcc(r.GlobalAcc) }),
+		Col("absorbed", func(_ int, r RoundRow) string { return FmtInt(r.Absorbed) }),
+		Col("late", func(_ int, r RoundRow) string { return FmtInt(r.LateAbsorbed) }),
+		Col("dropped", func(_ int, r RoundRow) string { return FmtInt(r.DroppedUploads) }),
+		Col("wire up KiB", func(_ int, r RoundRow) string { return FmtKiB(r.BytesUp) }),
+		Col("wire down KiB", func(_ int, r RoundRow) string { return FmtKiB(r.BytesDown) }),
+	}
+}
+
+// FaultNote is the standard Note hook: an annotation line whenever a
+// round degraded on replica faults.
+func FaultNote(_ int, r RoundRow) string {
+	if len(r.ReplicaFaults) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("replica faults (degraded, round continued): %v", r.ReplicaFaults)
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundReportRender(t *testing.T) {
+	rows := []RoundRow{
+		{Round: 1, Sampled: 32, Completed: 30, Dropped: 1, Injected: 1,
+			StoreHits: 90, StoreMisses: 10, StorePrefetched: 8,
+			SpillReadBytes: 2_000_000, SpillWriteBytes: 1_000_000,
+			LocalElapsed: 120 * time.Millisecond, ServerElapsed: 300 * time.Millisecond,
+			Elapsed: 430 * time.Millisecond},
+		{Round: 2, Sampled: 32, Completed: 32,
+			LocalElapsed: 110 * time.Millisecond, ServerElapsed: 290 * time.Millisecond,
+			Elapsed: 400 * time.Millisecond, ReplicaFaults: []int{7, 9}},
+	}
+	var b strings.Builder
+	RoundReport{Columns: ScaleColumns(), Note: FaultNote}.Render(&b, rows)
+	out := b.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 rows + 1 fault note
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "round") || !strings.Contains(lines[0], "server time") {
+		t.Fatalf("header missing columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "90.0%") {
+		t.Fatalf("hit rate not rendered: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "2.0/1.0") {
+		t.Fatalf("spill MB not rendered: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "—") {
+		t.Fatalf("idle store should render em-dash: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "replica faults") || !strings.Contains(lines[3], "[7 9]") {
+		t.Fatalf("fault note missing: %q", lines[3])
+	}
+	// Alignment: every row has the same column separators at the same
+	// byte offsets as the header.
+	if strings.Count(lines[1], " | ") != strings.Count(lines[0], " | ") {
+		t.Fatalf("separator count mismatch:\n%s", out)
+	}
+}
+
+func TestRoundReportCustomColumns(t *testing.T) {
+	// A comparative report closing over a second series by row index —
+	// the straggler example's layout.
+	baseline := []float64{0.5, 0.6}
+	rows := []RoundRow{
+		{Round: 1, Sampled: 4, GlobalAcc: 0.4},
+		{Round: 2, Sampled: 4, GlobalAcc: 0.55},
+	}
+	cols := []Column{
+		Col("round", func(_ int, r RoundRow) string { return FmtInt(r.Round) }),
+		Col("p=0.4 acc", func(_ int, r RoundRow) string { return FmtAcc(r.GlobalAcc) }),
+		Col("p=1.0 acc", func(i int, _ RoundRow) string { return FmtAcc(baseline[i]) }),
+	}
+	var b strings.Builder
+	RoundReport{Columns: cols}.Render(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "0.5500") || !strings.Contains(out, "0.6000") {
+		t.Fatalf("custom column values missing:\n%s", out)
+	}
+}
+
+func TestDistributedColumns(t *testing.T) {
+	rows := []RoundRow{{Round: 1, GlobalAcc: 0.42, Absorbed: 3, LateAbsorbed: 1,
+		DroppedUploads: 2, BytesUp: 4096, BytesDown: 8192}}
+	var b strings.Builder
+	RoundReport{Columns: DistributedColumns()}.Render(&b, rows)
+	out := b.String()
+	for _, want := range []string{"0.4200", "4.0", "8.0", "absorbed", "late"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

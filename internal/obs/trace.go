@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// span is one completed phase span in the ring.
+type span struct {
+	id     uint64
+	parent uint64 // 0 = no parent
+	cat    string
+	name   string
+	round  int
+	tid    int
+	start  time.Time
+	end    time.Time
+}
+
+// Tracer records completed phase spans into a bounded in-memory ring and
+// exports them as Chrome trace_event JSON. Begin/End are cheap (one mutex
+// acquisition at End, nothing at Begin beyond an atomic ID and a clock
+// read) and spans older than the ring capacity fall off the back.
+//
+// Timestamps come from an injectable clock so instrumented runs stay
+// deterministic under test; spans are never part of run fingerprints.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	epoch  time.Time
+	nextID uint64
+	ring   []span
+	next   int // ring write cursor
+	filled bool
+	total  uint64 // lifetime spans recorded (including overwritten)
+}
+
+// NewTracer builds a tracer whose ring holds up to capacity completed
+// spans (minimum 1), using the real-time clock until SetClock replaces it.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{clock: time.Now, ring: make([]span, 0, capacity)}
+	t.epoch = t.clock()
+	return t
+}
+
+// SetClock replaces the tracer's time source and resets its epoch to the
+// new clock's current reading. Tests inject a fake clock here.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+	t.epoch = clock()
+}
+
+// Recorded returns the lifetime number of spans recorded, including those
+// already overwritten in the ring.
+func (t *Tracer) Recorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// SpanRef is an in-flight span. It is a value: builders return modified
+// copies, so a ref can be stored in a struct field or passed by value and
+// ended exactly once. The zero SpanRef is inert — End on it is a no-op —
+// which lets instrumentation sites skip nil checks when tracing is off.
+type SpanRef struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	cat    string
+	name   string
+	round  int
+	tid    int
+	start  time.Time
+}
+
+// Begin opens a span in category cat with the given name. If span
+// recording is disabled process-wide (SetEnabled(false)) the returned ref
+// is inert and End does nothing.
+func (t *Tracer) Begin(cat, name string) SpanRef {
+	if t == nil || !enabled.Load() {
+		return SpanRef{}
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	start := t.clock()
+	t.mu.Unlock()
+	return SpanRef{t: t, id: id, cat: cat, name: name, start: start}
+}
+
+// ID returns the span's identifier (0 for an inert ref), for parenting
+// child spans across goroutines.
+func (s SpanRef) ID() uint64 { return s.id }
+
+// WithParent returns a copy parented under the span with the given ID.
+func (s SpanRef) WithParent(parent uint64) SpanRef {
+	s.parent = parent
+	return s
+}
+
+// WithRound returns a copy tagged with the federation round.
+func (s SpanRef) WithRound(round int) SpanRef {
+	s.round = round
+	return s
+}
+
+// WithTID returns a copy tagged with a logical thread/track ID — shard
+// index, worker index, session number — so concurrent spans render on
+// separate tracks in the trace viewer.
+func (s SpanRef) WithTID(tid int) SpanRef {
+	s.tid = tid
+	return s
+}
+
+// End completes the span and commits it to the tracer's ring. Calling End
+// on an inert (zero) ref is a no-op.
+func (s SpanRef) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	sp := span{
+		id:     s.id,
+		parent: s.parent,
+		cat:    s.cat,
+		name:   s.name,
+		round:  s.round,
+		tid:    s.tid,
+		start:  s.start,
+		end:    t.clock(),
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sp)
+	} else {
+		t.ring[t.next] = sp
+		t.filled = true
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// spansInOrder copies the ring oldest-first under the lock.
+func (t *Tracer) spansInOrder() []span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]span, 0, len(t.ring))
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// traceEvent is one Chrome trace_event entry ("X" complete event).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // µs since tracer epoch
+	Dur  int64          `json:"dur"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace renders the ring's spans as a Chrome trace_event JSON
+// document ({"traceEvents": [...]}) loadable in chrome://tracing or
+// Perfetto. Ring wraparound can evict a parent whose children survive;
+// those dangling parent references are dropped from the export so the
+// dump never points at a span that is not present.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans := t.spansInOrder()
+	present := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.id] = true
+	}
+	events := make([]traceEvent, 0, len(spans))
+	t.mu.Lock()
+	epoch := t.epoch
+	t.mu.Unlock()
+	for _, sp := range spans {
+		args := map[string]any{"id": sp.id}
+		if sp.round != 0 {
+			args["round"] = sp.round
+		}
+		if sp.parent != 0 && present[sp.parent] {
+			args["parent"] = sp.parent
+		}
+		events = append(events, traceEvent{
+			Name: sp.name,
+			Cat:  sp.cat,
+			Ph:   "X",
+			TS:   sp.start.Sub(epoch).Microseconds(),
+			Dur:  sp.end.Sub(sp.start).Microseconds(),
+			PID:  1,
+			TID:  sp.tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+// String summarises the tracer state for debugging.
+func (t *Tracer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("obs.Tracer{spans: %d, capacity: %d, lifetime: %d}",
+		len(t.ring), cap(t.ring), t.total)
+}

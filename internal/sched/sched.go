@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/fedzkt/fedzkt/internal/obs"
 )
 
 // Task is one device's unit of work within a round.
@@ -133,22 +135,38 @@ func (o Options) workers() int {
 }
 
 // Stats counts pool activity across rounds (atomically updated, so safe
-// to read concurrently with a running round).
+// to read concurrently with a running round). The fields are obs.Counter
+// registry instruments — the same values a Pool exports over the live
+// metrics endpoint — with the atomic.Int64 method set (Add/Load), so
+// long-standing call sites read them unchanged.
 type Stats struct {
-	Rounds    atomic.Int64
-	Completed atomic.Int64
-	Failed    atomic.Int64
-	Dropped   atomic.Int64
-	Injected  atomic.Int64
+	Rounds    obs.Counter
+	Completed obs.Counter
+	Failed    obs.Counter
+	Dropped   obs.Counter
+	Injected  obs.Counter
 	// Busy accumulates the nanoseconds workers spent executing tasks —
 	// the pool's work integral. Over a wall-clock interval w with W
 	// workers, Busy/(W·w) is the pool's utilisation; a pipelined round
 	// engine uses it to show how much device-side idle time it recovered.
-	Busy atomic.Int64
+	Busy obs.Counter
 }
 
 // BusyTime returns Stats.Busy as a duration.
 func (s *Stats) BusyTime() time.Duration { return time.Duration(s.Busy.Load()) }
+
+// RegisterMetrics binds the pool's cumulative counters into reg under
+// fedzkt_sched_* names. Registration is last-wins, so the most recently
+// constructed pool owns the names on the live endpoint.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("fedzkt_sched_rounds_total", "scheduler rounds executed", &p.stats.Rounds)
+	reg.RegisterCounter("fedzkt_sched_tasks_completed_total", "device tasks completed within deadline", &p.stats.Completed)
+	reg.RegisterCounter("fedzkt_sched_tasks_failed_total", "device tasks returning a genuine error", &p.stats.Failed)
+	reg.RegisterCounter("fedzkt_sched_tasks_dropped_total", "device tasks dropped as round stragglers", &p.stats.Dropped)
+	reg.RegisterCounter("fedzkt_sched_tasks_injected_total", "device tasks lost to seeded failure injection", &p.stats.Injected)
+	reg.RegisterGaugeFunc("fedzkt_sched_busy_seconds_total", "cumulative worker task-execution time",
+		func() float64 { return p.stats.BusyTime().Seconds() })
+}
 
 // Pool is a bounded worker pool that executes one round of device tasks
 // at a time. It is stateless between rounds apart from its Stats, so a

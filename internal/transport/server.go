@@ -13,6 +13,7 @@ import (
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
 	"github.com/fedzkt/fedzkt/internal/model"
 	"github.com/fedzkt/fedzkt/internal/nn"
+	"github.com/fedzkt/fedzkt/internal/obs"
 	"github.com/fedzkt/fedzkt/internal/tensor"
 )
 
@@ -146,7 +147,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
 	}
-	return &Server{
+	srv := &Server{
 		cfg:         cfg,
 		ds:          ds,
 		core:        core,
@@ -157,7 +158,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		regProgress: make(chan struct{}, cfg.NumDevices),
 		fatal:       make(chan error, 1),
 		pending:     make(map[int]pendingInstall),
-	}, nil
+	}
+	srv.RegisterMetrics(obs.Default())
+	return srv, nil
 }
 
 // Addr returns the bound listen address.
@@ -384,6 +387,7 @@ func (s *Server) handleHello(conn net.Conn, mc *meteredConn, hello *Message) {
 		return
 	}
 	_ = conn.SetDeadline(time.Time{})
+	tracer().Begin("transport", "session_attach").WithTID(id).End()
 	sess.attach(conn, 0, s.events, cfg.IOTimeout)
 }
 
@@ -445,6 +449,7 @@ func (s *Server) handleResume(conn net.Conn, mc *meteredConn, resume *Message) {
 	sess.resumes++
 	sess.mu.Unlock()
 	_ = conn.SetDeadline(time.Time{})
+	tracer().Begin("transport", "session_resume").WithTID(id).WithRound(resume.Round).End()
 	sess.attach(conn, resume.Round, s.events, s.cfg.IOTimeout)
 }
 
@@ -484,6 +489,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 			return hist, fmt.Errorf("transport: cancelled at round %d: %w", round, err)
 		}
 		start := time.Now()
+		roundSpan := tracer().Begin("transport", "round").WithRound(round)
 		m := fed.RoundMetrics{Round: round}
 		active := fed.SampleActive(cfg.NumDevices, fedCfg.ActiveFraction, roundRNG)
 		m.Active = active
@@ -528,6 +534,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 				case evDetached:
 					// The session stays registered; nothing to do until
 					// the device resumes or the round closes without it.
+					tracer().Begin("transport", "session_detach").WithTID(ev.id).WithRound(round).End()
 				case evMessage:
 					if ev.msg.Type != MsgUpload {
 						continue
@@ -572,10 +579,12 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 				expired = true
 				if got < quorum {
 					deadline.Stop()
+					roundSpan.End()
 					return hist, fmt.Errorf("transport: round %d: %d/%d uploads within deadline (quorum %d)", round, got, target, quorum)
 				}
 			case <-ctx.Done():
 				deadline.Stop()
+				roundSpan.End()
 				return hist, fmt.Errorf("transport: cancelled at round %d: %w", round, ctx.Err())
 			}
 		}
@@ -589,6 +598,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 		// Server-side distillation.
 		gn, err := s.core.Distill(ctx, round)
 		if err != nil {
+			roundSpan.End()
 			return hist, err
 		}
 		m.InputGradNorm = gn
@@ -608,6 +618,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 			}
 			payload, _, err := s.core.ReplicaPayload(id)
 			if err != nil {
+				roundSpan.End()
 				return hist, err
 			}
 			sessions[id].enqueue(&Message{Type: MsgDownload, Round: round, DeviceID: id, Payload: payload})
@@ -621,6 +632,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 			Dropped: m.DroppedUploads, GlobalAcc: m.GlobalAcc,
 		})
 		if err != nil {
+			roundSpan.End()
 			return hist, err
 		}
 		for _, sess := range sessions {
@@ -638,6 +650,7 @@ func (s *Server) roundLoop(ctx context.Context) (fed.History, error) {
 			prevUp[id], prevDown[id] = up, down
 		}
 		m.Elapsed = time.Since(start)
+		roundSpan.End()
 		hist = append(hist, m)
 	}
 

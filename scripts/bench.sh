@@ -3,14 +3,24 @@
 # summary so the performance trajectory is tracked from PR 5 on.
 #
 # Usage:
-#   ./scripts/bench.sh              # writes BENCH_8.json in the repo root
+#   ./scripts/bench.sh              # writes BENCH_9.json in the repo root
 #   ./scripts/bench.sh out.json     # explicit output path
 #   BENCHTIME=3x ./scripts/bench.sh # cheaper run (default 8x)
+#   BENCHCOUNT=1 ./scripts/bench.sh # single sample per benchmark (default 3)
 #
-# The distill benchmarks come in three arms: Serial (one core, width-1
+# The whole suite runs BENCHCOUNT times (outer loop, so each
+# benchmark's samples are minutes apart, not consecutive) and the JSON
+# records each benchmark's fastest sample — the usual defence against
+# scheduler noise on shared hosts, where throughput regimes drift on
+# minute timescales and a single sample can swing ±10%.
+#
+# The distill benchmarks come in four arms: Serial (one core, width-1
 # kernels), the default parallel exact mode (byte-identical to Serial),
-# and Fast (-fast-math kernels, not byte-comparable). Serial-vs-parallel
-# and exact-vs-Fast deltas are both readable straight from the JSON.
+# Fast (-fast-math kernels, not byte-comparable), and NoObs (span
+# recording off — the Teachers8/Teachers8NoObs and LocalStepArena/
+# LocalStepArenaNoObs pairs price the observability layer, with a ≤ 2%
+# acceptance bar on the distill pair). Serial-vs-parallel and
+# exact-vs-Fast deltas are both readable straight from the JSON.
 # The CohortCheckout pair prices the spill-tier replica store (cold
 # checkout: spill read + decode) against the in-memory slot path.
 #
@@ -20,15 +30,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 BENCHTIME="${BENCHTIME:-8x}"
-PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkLocalStepArena|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward|BenchmarkCohortCheckoutMemory|BenchmarkCohortCheckoutSpill'
+PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkServerDistill100Teachers8NoObs|BenchmarkLocalStepArena$|BenchmarkLocalStepArenaNoObs|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward|BenchmarkCohortCheckoutMemory|BenchmarkCohortCheckoutSpill'
+
+BENCHCOUNT="${BENCHCOUNT:-3}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . ./internal/fedzkt | tee "$RAW"
+# The instrumented-vs-uninstrumented pairs are read as differences of
+# two samples, so their noise requirement is much tighter than the rest
+# of the table's — give them extra interleaved passes to drive both
+# arms of each pair to the quiet-host floor.
+OBSPAIRS='BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8NoObs|BenchmarkLocalStepArena$|BenchmarkLocalStepArenaNoObs'
+OBSCOUNT="${OBSCOUNT:-8}"
 
-awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
+{
+    for rep in $(seq "$BENCHCOUNT"); do
+        echo "# suite pass $rep/$BENCHCOUNT"
+        go test -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -run '^$' . ./internal/fedzkt
+    done
+    for rep in $(seq "$OBSCOUNT"); do
+        echo "# obs-pair pass $rep/$OBSCOUNT"
+        go test -bench "$OBSPAIRS" -benchmem -benchtime "$BENCHTIME" -run '^$' .
+    done
+} | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v benchcount="$BENCHCOUNT" -v gover="$(go version | cut -d' ' -f3)" \
     -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v cores="$(nproc 2>/dev/null || echo 1)" '
@@ -41,21 +69,27 @@ awk -v benchtime="$BENCHTIME" -v gover="$(go version | cut -d' ' -f3)" \
 		if ($i == "B/op") bytes = $(i-1)
 		if ($i == "allocs/op") allocs = $(i-1)
 	}
-	entries[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-		name, iters, ns, bytes, allocs)
+	# Keep the fastest of the -count samples per benchmark.
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		if (!(name in best)) order[++n] = name
+		best[name] = ns
+		entries[name] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+			name, iters, ns, bytes, allocs)
+	}
 }
 END {
 	printf "{\n"
 	printf "  \"schema\": \"fedzkt-bench/1\",\n"
-	printf "  \"pr\": 8,\n"
+	printf "  \"pr\": 9,\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"git\": \"%s\",\n", rev
 	printf "  \"go\": \"%s\",\n", gover
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"cores\": %s,\n", cores
 	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchcount\": %s,\n", benchcount
 	printf "  \"benchmarks\": [\n"
-	for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+	for (i = 1; i <= n; i++) printf "%s%s\n", entries[order[i]], (i < n ? "," : "")
 	printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
