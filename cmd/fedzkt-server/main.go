@@ -34,17 +34,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedzkt-server", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7700", "TCP listen address")
-		devices   = fs.Int("devices", 2, "number of devices to wait for")
-		dataset   = fs.String("dataset", "synthmnist", "synthetic dataset name")
-		rounds    = fs.Int("rounds", 5, "communication rounds")
-		epochs    = fs.Int("epochs", 2, "local epochs per round")
-		distill   = fs.Int("distill", 16, "server distillation iterations per phase")
-		batch     = fs.Int("batch", 16, "batch size (device and distillation)")
-		fraction  = fs.Float64("p", 1.0, "active device fraction per round (stragglers)")
-		seed      = fs.Uint64("seed", 1, "random seed")
-		perClass  = fs.Int("per-class", 30, "training samples per class")
-		part      = fs.String("partition", "iid", "data partition regime: iid, quantity:<c>, dirichlet:<beta>")
+		addr          = fs.String("addr", "127.0.0.1:7700", "TCP listen address")
+		devices       = fs.Int("devices", 2, "number of devices to wait for")
+		dataset       = fs.String("dataset", "synthmnist", "synthetic dataset name")
+		rounds        = fs.Int("rounds", 5, "communication rounds")
+		epochs        = fs.Int("epochs", 2, "local epochs per round")
+		distill       = fs.Int("distill", 16, "server distillation iterations per phase")
+		batch         = fs.Int("batch", 16, "batch size (device and distillation)")
+		fraction      = fs.Float64("p", 1.0, "active device fraction per round (stragglers)")
+		seed          = fs.Uint64("seed", 1, "random seed")
+		perClass      = fs.Int("per-class", 30, "training samples per class")
+		part          = fs.String("partition", "iid", "data partition regime: iid, quantity:<c>, dirichlet:<beta>")
 		minUp         = fs.Int("min-uploads", 0, "round quorum: min uploads before distilling without stragglers (0 = all active devices)")
 		upDeadl       = fs.Duration("upload-deadline", 0, "per-round upload collection deadline (0 = IO timeout)")
 		staleness     = fs.Int("staleness-bound", 0, "rounds a late upload may lag and still be absorbed")

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	fedzkt "github.com/fedzkt/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/experiments"
 	"github.com/fedzkt/fedzkt/internal/obs"
@@ -56,12 +57,32 @@ func run(args []string) error {
 		shardCount      = fs.Int("shards", 0, "cohort store shards, registration/checkout fanned out per shard (0 = 1)")
 		hotSet          = fs.Int("hot-set", 0, "resident replica slots per cohort shard under the spill store (0 = sized to the teacher window)")
 
+		checkpointDir   = fs.String("checkpoint-dir", "", "durable crash-recovery checkpoints: every federation writes atomic, CRC-trailed checkpoint files into a per-cell subdirectory here")
+		checkpointEvery = fs.Int("checkpoint-every", 0, "round cadence of durable checkpoints (0 = every round when -checkpoint-dir is set)")
+		resume          = fs.Bool("resume", false, "resume every federation from the latest intact checkpoint in its -checkpoint-dir subdirectory (fresh start when none loads)")
+		chaosSpec       = fs.String("chaos", "", "arm seeded failpoints, e.g. \"seed=7;spill.read.err=0.01;crash.round.end=on:2\" (see internal/chaos; crash points exit with code 7)")
+
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProfile    = fs.String("memprofile", "", "write an allocation profile taken at exit to this file (inspect with `go tool pprof -sample_index=alloc_objects`)")
 		listenMetrics = fs.String("listen-metrics", "", "serve the live introspection endpoint on this address (/metrics, /debug/vars, /debug/trace, /debug/pprof; \":0\" picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosSpec != "" {
+		plan, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		chaos.Activate(plan)
+		defer chaos.Deactivate()
+		fmt.Fprintf(os.Stderr, "fedzkt: chaos armed: %s\n", *chaosSpec)
+	}
+	if *checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", *checkpointEvery)
+	}
+	if (*resume || *checkpointEvery > 0) && *checkpointDir == "" {
+		return fmt.Errorf("-resume and -checkpoint-every require -checkpoint-dir")
 	}
 	if *listenMetrics != "" {
 		addr, err := obs.ListenAndServe(*listenMetrics)
@@ -154,6 +175,9 @@ func run(args []string) error {
 	params.ReplicaStore = *replicaStore
 	params.ReplicaShards = *shardCount
 	params.HotSet = *hotSet
+	params.CheckpointDir = *checkpointDir
+	params.CheckpointEvery = *checkpointEvery
+	params.Resume = *resume
 	if *devices != "" {
 		counts, err := parseDevices(*devices)
 		if err != nil {

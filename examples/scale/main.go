@@ -36,12 +36,21 @@
 //	go run ./examples/scale -devices 1000 -sample-k 32 -pipeline-depth 2
 //	go run ./examples/scale -devices 1000 -replica-store spill -shards 4 -hot-set 64
 //	go run ./examples/scale -devices 1000000 -rounds 2
+//
+// With -checkpoint-dir the coordinator writes an atomic, CRC-trailed
+// checkpoint file after each round, and -resume restarts from the latest
+// intact one; -chaos arms seeded failpoints (I/O faults, torn checkpoint
+// writes, crash points that exit with code 7) for crash-recovery drills:
+//
+//	go run ./examples/scale -checkpoint-dir /tmp/ckpt -chaos "seed=7;crash.round.end=on:2"
+//	go run ./examples/scale -checkpoint-dir /tmp/ckpt -resume
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"runtime"
@@ -50,6 +59,7 @@ import (
 	"time"
 
 	"github.com/fedzkt/fedzkt"
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/obs"
 )
@@ -84,11 +94,29 @@ func main() {
 		virtual      = flag.Bool("virtual-devices", false, "keep device models in a tiered store, materialised only while participating (auto-enabled at ≥ 10,000 devices)")
 		evalDevices  = flag.Int("eval-devices", -1, "devices in the per-round replica evaluation, 0 = all (-1 = auto: all below 10,000 devices, 256 beyond)")
 
+		checkpointDir   = flag.String("checkpoint-dir", "", "write an atomic, CRC-trailed checkpoint file here after every -checkpoint-every rounds (enables crash recovery)")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "round cadence of durable checkpoints (0 = every round when -checkpoint-dir is set)")
+		keepCheckpoints = flag.Int("keep-checkpoints", 0, "checkpoint files retained in -checkpoint-dir (0 = 3); older files are the rollback targets")
+		resume          = flag.Bool("resume", false, "resume from the latest intact checkpoint in -checkpoint-dir (fresh start when none loads)")
+		chaosSpec       = flag.String("chaos", "", "arm seeded failpoints, e.g. \"seed=7;spill.read.err=0.01;crash.round.end=on:2\" (see internal/chaos; crash points exit with code 7)")
+
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 		memProfile    = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 		listenMetrics = flag.String("listen-metrics", "", "serve the live introspection endpoint on this address (/metrics, /debug/vars, /debug/trace, /debug/pprof; \":0\" picks a port)")
 	)
 	flag.Parse()
+
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		p, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = p
+		chaos.Activate(plan)
+		defer chaos.Deactivate()
+		fmt.Printf("chaos armed: %s\n", *chaosSpec)
+	}
 
 	if *listenMetrics != "" {
 		addr, err := obs.ListenAndServe(*listenMetrics)
@@ -200,6 +228,11 @@ func main() {
 		VirtualDevices: useVirtual,
 		EvalDevices:    evalN,
 		EvalEvery:      *rounds, // evaluating every device model is the slow part
+
+		CheckpointDir:   *checkpointDir,
+		CheckpointEvery: *checkpointEvery,
+		KeepCheckpoints: *keepCheckpoints,
+		Resume:          *resume,
 	}, ds, []string{"mlp", "lenet-s"}, dataShards)
 	if err != nil {
 		log.Fatal(err)
@@ -256,6 +289,22 @@ func main() {
 	}
 	fmt.Printf("%d devices × %d rounds in %s — one process, bounded concurrency.\n",
 		*devices, *rounds, elapsed.Round(time.Millisecond))
+
+	// The fingerprint digest covers the coordinator's whole finalised
+	// history — across a crash and resume, not just this Run — so a
+	// crash-recovery soak can pin a resumed run against an uninterrupted
+	// one from the digests alone (sync engine, full participation).
+	full := co.History()
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(full.Fingerprint()))
+	fmt.Printf("history fingerprint: %016x over %d rounds\n", h.Sum64(), len(full))
+	if plan != nil {
+		for _, site := range chaos.Sites() {
+			if plan.Armed(site) {
+				fmt.Printf("chaos: %-20s hits=%d fired=%d\n", site, plan.Hits(site), plan.Fired(site))
+			}
+		}
+	}
 }
 
 // printStoreStats prints one tiered store's cumulative counters.

@@ -9,11 +9,19 @@ package codec
 // support holes: a million-device federation whose rounds only ever touch
 // a few hundred replicas pays disk for exactly those records.
 //
-// A record is a 4-byte little-endian length prefix followed by the
-// container bytes. The prefix lets Read reject torn or foreign data
-// (length 0 or > the record capacity) with a clear error instead of
-// handing corrupt bytes to the container decoder, and tolerates codecs
-// whose container size varies slightly across installs.
+// A record is an 8-byte header — a 4-byte little-endian length followed
+// by a 4-byte CRC32C (Castagnoli) of the container bytes — then the
+// container itself. The length lets Read reject torn or foreign data
+// (length 0 or > the record capacity) with a clear error, and the
+// checksum catches silent corruption of the stored bytes (a flipped bit
+// on disk) before they reach the container decoder: a checksum mismatch
+// is a typed ErrSpillChecksum error the tiered store degrades on.
+//
+// Record I/O retries transient errors (EIO and injected faults) a
+// bounded number of times with short backoff before reporting them;
+// corruption errors (bad length, checksum mismatch) are never retried —
+// rereading corrupt media does not uncorrupt it. The chaos failpoints
+// spill.read.err, spill.write.err and spill.read.flip arm this path.
 //
 // Write and Read are goroutine-safe for distinct slots (the underlying
 // pwrite/pwread are positional); callers serialise per-slot access, which
@@ -22,14 +30,38 @@ package codec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/fedzkt/fedzkt/internal/chaos"
 )
 
-// spillHeader is the per-record length prefix size.
-const spillHeader = 4
+// spillHeader is the per-record header size: 4-byte length + 4-byte
+// CRC32C of the record bytes.
+const spillHeader = 8
+
+// spillRetries bounds how many times a transient record I/O error is
+// retried before it is reported; spillBackoff is the first retry's
+// sleep, doubling per attempt (1, 2, 4 ms — enough to ride out a
+// momentary EIO without stalling a round).
+const (
+	spillRetries = 3
+	spillBackoff = time.Millisecond
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSpillChecksum marks a spill record whose stored bytes fail their
+// CRC32C — silent corruption, reported (never retried) so the tiered
+// store can degrade the member instead of decoding garbage.
+var ErrSpillChecksum = errors.New("codec: spill record checksum mismatch")
 
 // SpillFile is an open fixed-stride spill store. Create one per
 // (shard, architecture) pair with CreateSpill.
@@ -45,6 +77,7 @@ type SpillFile struct {
 
 	reads, writes         atomic.Int64
 	readBytes, writeBytes atomic.Int64
+	retries               atomic.Int64
 }
 
 // CreateSpill creates (truncating) a spill file at path whose records hold
@@ -66,8 +99,24 @@ func (s *SpillFile) RecordCap() int { return s.recordCap }
 // Path returns the backing file's path.
 func (s *SpillFile) Path() string { return s.path }
 
+// withRetry runs op up to spillRetries+1 times, sleeping with doubling
+// backoff between attempts. Only transient errors are retried; corrupt
+// records (ErrSpillChecksum, bad lengths) surface immediately.
+func (s *SpillFile) withRetry(op func() error) error {
+	backoff := spillBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || errors.Is(err, ErrSpillChecksum) || attempt >= spillRetries {
+			return err
+		}
+		s.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
 // Write stores rec at slot, marking it written. len(rec) must be in
-// (0, RecordCap].
+// (0, RecordCap]. Transient write errors are retried with backoff.
 func (s *SpillFile) Write(slot int, rec []byte) error {
 	if slot < 0 {
 		return fmt.Errorf("codec: spill write: negative slot %d", slot)
@@ -77,8 +126,16 @@ func (s *SpillFile) Write(slot int, rec []byte) error {
 	}
 	buf := make([]byte, spillHeader+len(rec))
 	binary.LittleEndian.PutUint32(buf, uint32(len(rec))) //nolint:gosec // bounded by recordCap
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(rec, castagnoli))
 	copy(buf[spillHeader:], rec)
-	if _, err := s.f.WriteAt(buf, int64(slot)*s.stride); err != nil {
+	err := s.withRetry(func() error {
+		if err := chaos.Err(chaos.SiteSpillWriteErr, "spill write"); err != nil {
+			return err
+		}
+		_, err := s.f.WriteAt(buf, int64(slot)*s.stride)
+		return err
+	})
+	if err != nil {
 		return fmt.Errorf("codec: spill write slot %d: %w", slot, err)
 	}
 	s.writes.Add(1)
@@ -110,26 +167,46 @@ func (s *SpillFile) Written(slot int) bool {
 // Read appends slot's record bytes to dst (pass dst[:0] to reuse a
 // buffer) and returns the extended slice. Reading an unwritten slot is an
 // error — callers consult Written (or their own residency state) first.
+// Transient read errors are retried with backoff; a record whose bytes
+// fail their stored CRC32C returns a wrapped ErrSpillChecksum without
+// retrying (the caller's degrade path owns corrupt records).
 func (s *SpillFile) Read(slot int, dst []byte) ([]byte, error) {
 	if !s.Written(slot) {
 		return nil, fmt.Errorf("codec: spill read: slot %d not written", slot)
 	}
-	var hdr [spillHeader]byte
 	off := int64(slot) * s.stride
-	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
-		return nil, fmt.Errorf("codec: spill read slot %d: %w", slot, err)
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n == 0 || n > s.recordCap {
-		return nil, fmt.Errorf("codec: spill read slot %d: corrupt record length %d (capacity %d)", slot, n, s.recordCap)
-	}
 	start := len(dst)
-	dst = append(dst, make([]byte, n)...)
-	if _, err := s.f.ReadAt(dst[start:], off+spillHeader); err != nil {
+	err := s.withRetry(func() error {
+		dst = dst[:start]
+		if err := chaos.Err(chaos.SiteSpillReadErr, "spill read"); err != nil {
+			return err
+		}
+		var hdr [spillHeader]byte
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if n == 0 || n > s.recordCap {
+			return fmt.Errorf("corrupt record length %d (capacity %d): %w", n, s.recordCap, ErrSpillChecksum)
+		}
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		dst = append(dst, make([]byte, n)...)
+		if _, err := s.f.ReadAt(dst[start:], off+spillHeader); err != nil {
+			return err
+		}
+		// The spill.read.flip failpoint models silent media corruption:
+		// the flipped bit must be caught by the checksum below.
+		chaos.FlipBit(chaos.SiteSpillFlip, dst[start:])
+		if got := crc32.Checksum(dst[start:], castagnoli); got != want {
+			return fmt.Errorf("stored CRC %08x, computed %08x: %w", want, got, ErrSpillChecksum)
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("codec: spill read slot %d: %w", slot, err)
 	}
 	s.reads.Add(1)
-	s.readBytes.Add(int64(n))
+	s.readBytes.Add(int64(len(dst) - start))
 	return dst, nil
 }
 
@@ -141,11 +218,13 @@ func (s *SpillFile) Records() int {
 }
 
 // Reads and Writes return the cumulative record I/O operation counts;
-// ReadBytes and WriteBytes the cumulative record payload traffic.
+// ReadBytes and WriteBytes the cumulative record payload traffic;
+// Retries the transient-error retries the backoff loop absorbed.
 func (s *SpillFile) Reads() int64      { return s.reads.Load() }
 func (s *SpillFile) Writes() int64     { return s.writes.Load() }
 func (s *SpillFile) ReadBytes() int64  { return s.readBytes.Load() }
 func (s *SpillFile) WriteBytes() int64 { return s.writeBytes.Load() }
+func (s *SpillFile) Retries() int64    { return s.retries.Load() }
 
 // Close closes and removes the backing file. Spill records are an
 // eviction tier of in-memory state, not a persistence format (checkpoints

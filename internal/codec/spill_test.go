@@ -3,10 +3,13 @@ package codec
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/fedzkt/fedzkt/internal/chaos"
 )
 
 func TestSpillFileRoundTrip(t *testing.T) {
@@ -116,13 +119,120 @@ func TestSpillFileCorruptRecord(t *testing.T) {
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
-	if _, err := f.WriteAt(hdr[:], 2*int64(4+32)); err != nil {
+	if _, err := f.WriteAt(hdr[:], 2*int64(spillHeader+32)); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
 	if _, err := s.Read(2, nil); err == nil || !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("want corrupt-record error, got %v", err)
 	}
+}
+
+// TestSpillFileChecksum: a flipped bit in a record's stored bytes — the
+// length prefix intact — must surface as a typed ErrSpillChecksum, not
+// as silently corrupt container bytes.
+func TestSpillFileChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip.spill")
+	s, err := CreateSpill(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Write(1, []byte{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of the record's payload (past the 8-byte header).
+	if _, err := f.WriteAt([]byte{10 ^ 0x04}, int64(spillHeader+32)+int64(spillHeader)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = s.Read(1, nil)
+	if !errors.Is(err, ErrSpillChecksum) {
+		t.Fatalf("want ErrSpillChecksum, got %v", err)
+	}
+}
+
+// TestSpillFileChaosRetry: a transiently injected I/O fault (chaos
+// spill.read.err / spill.write.err firing once) is absorbed by the
+// bounded retry loop; a persistently firing fault exhausts the retries
+// and surfaces. A chaos-flipped bit is caught by the CRC and is NOT
+// retried — corruption isn't transient.
+func TestSpillFileChaosRetry(t *testing.T) {
+	armPlan := func(t *testing.T, spec string) {
+		t.Helper()
+		p, err := chaos.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaos.Activate(p)
+		t.Cleanup(chaos.Deactivate)
+	}
+	newFile := func(t *testing.T) *SpillFile {
+		t.Helper()
+		s, err := CreateSpill(filepath.Join(t.TempDir(), "chaos.spill"), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+
+	t.Run("transient write recovers", func(t *testing.T) {
+		s := newFile(t)
+		armPlan(t, "spill.write.err=on:1")
+		if err := s.Write(0, []byte{1, 2}); err != nil {
+			t.Fatalf("one injected fault must be retried away: %v", err)
+		}
+		if s.Retries() == 0 {
+			t.Fatal("retry counter did not advance")
+		}
+	})
+	t.Run("transient read recovers", func(t *testing.T) {
+		s := newFile(t)
+		if err := s.Write(0, []byte{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		armPlan(t, "spill.read.err=on:1")
+		got, err := s.Read(0, nil)
+		if err != nil || !bytes.Equal(got, []byte{1, 2}) {
+			t.Fatalf("one injected fault must be retried away: %v %v", got, err)
+		}
+	})
+	t.Run("persistent fault surfaces typed", func(t *testing.T) {
+		s := newFile(t)
+		if err := s.Write(0, []byte{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		armPlan(t, "spill.read.err=every:1")
+		_, err := s.Read(0, nil)
+		var inj *chaos.InjectedError
+		if !errors.As(err, &inj) {
+			t.Fatalf("want *chaos.InjectedError after exhausted retries, got %v", err)
+		}
+	})
+	t.Run("bit flip fails checksum without retry", func(t *testing.T) {
+		s := newFile(t)
+		if err := s.Write(0, []byte{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+		armPlan(t, "spill.read.flip=on:1")
+		_, err := s.Read(0, nil)
+		if !errors.Is(err, ErrSpillChecksum) {
+			t.Fatalf("want ErrSpillChecksum from flipped bit, got %v", err)
+		}
+		if s.Retries() != 0 {
+			t.Fatal("checksum failure must not be retried")
+		}
+		// The flip fired once (on:1): the next read sees clean bytes.
+		got, err := s.Read(0, nil)
+		if err != nil || !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+			t.Fatalf("clean reread failed: %v %v", got, err)
+		}
+	})
 }
 
 // TestSpillFileSparse: slots live at fixed strides, so a huge slot index

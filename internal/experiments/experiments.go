@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -116,6 +117,17 @@ type Params struct {
 	// spill store (0 = sized to the teacher window); set by the -hot-set
 	// flag.
 	HotSet int
+	// CheckpointDir, when set, gives every federation durable crash-
+	// recovery checkpoints under a per-cell subdirectory (experiments run
+	// many federations; sharing one directory would interleave their
+	// rotation); set by the -checkpoint-dir flag.
+	CheckpointDir string
+	// CheckpointEvery is the durable checkpoint cadence in rounds
+	// (0 = every round); set by the -checkpoint-every flag.
+	CheckpointEvery int
+	// Resume makes every federation first load the latest intact
+	// checkpoint from its cell subdirectory; set by the -resume flag.
+	Resume bool
 }
 
 // ParamsFor returns the sizing for a scale.
@@ -250,7 +262,22 @@ func (p Params) fedzktConfig(name string, seedOffset uint64) fedzkt.Config {
 		ReplicaStore:    p.ReplicaStore,
 		ReplicaShards:   p.ReplicaShards,
 		HotSet:          p.HotSet,
+
+		CheckpointDir:   p.checkpointDirFor(name, seedOffset),
+		CheckpointEvery: p.CheckpointEvery,
+		Resume:          p.Resume,
 	}
+}
+
+// checkpointDirFor places one federation's durable checkpoints in a
+// subdirectory keyed by its dataset name and seed offset — the cell
+// identity within an experiment — so concurrent cells never interleave
+// their rotation windows.
+func (p Params) checkpointDirFor(name string, seedOffset uint64) string {
+	if p.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(p.CheckpointDir, fmt.Sprintf("%s-%04d", name, seedOffset))
 }
 
 // fedmdConfig assembles the FedMD baseline config for a dataset.
@@ -289,7 +316,12 @@ func runFedZKT(cfg fedzkt.Config, ds *data.Dataset, archs []string, shards [][]i
 	if err != nil {
 		return nil, err
 	}
-	return co.Run(context.Background())
+	if _, err := co.Run(context.Background()); err != nil {
+		return nil, err
+	}
+	// Full finalised history: a resumed federation replays only the tail,
+	// but the experiment tables should cover every round.
+	return co.History(), nil
 }
 
 // runFedMD builds and runs one FedMD federation.

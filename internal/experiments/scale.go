@@ -252,7 +252,9 @@ func ScaleSweep(p Params) (*Result, error) {
 		for _, m := range hist {
 			roundTime += m.Elapsed
 		}
-		roundTime /= time.Duration(len(hist))
+		if len(hist) > 0 {
+			roundTime /= time.Duration(len(hist))
+		}
 		serverFull := fullHist.MeanServerElapsed()
 		serverSampled := hist.MeanServerElapsed()
 		speedup := "n/a"
@@ -287,9 +289,12 @@ func runScaleCell(cfg fedzkt.Config, ds *data.Dataset, archs []string, shards []
 	if err != nil {
 		return nil, nil, err
 	}
-	hist, err := co.Run(context.Background())
-	if err != nil {
+	if _, err := co.Run(context.Background()); err != nil {
 		return nil, nil, err
 	}
-	return hist, co, nil
+	// Report over the full finalised history, not just the rounds this
+	// process ran: a resumed cell replays only the tail (possibly nothing,
+	// when the checkpoint already covers every round), and the tables
+	// should describe the whole federation either way.
+	return co.History(), co, nil
 }

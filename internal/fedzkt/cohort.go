@@ -249,7 +249,7 @@ type cohortSet struct {
 	// device ids and warming their cohort hot sets, started lazily at the
 	// first hint.
 	prefetchOnce sync.Once
-	prefetchCh   chan []int
+	prefetchCh   chan prefetchBatch
 	prefetchWG   sync.WaitGroup
 	closeOnce    sync.Once
 	closeErr     error
@@ -810,28 +810,59 @@ func (cs *cohortSet) prefetch(ids []int) {
 	if !cs.tiered || len(ids) == 0 {
 		return
 	}
-	cs.prefetchOnce.Do(func() {
-		cs.prefetchCh = make(chan []int, 64)
-		cs.prefetchWG.Add(1)
-		go func() {
-			defer cs.prefetchWG.Done()
-			for batch := range cs.prefetchCh {
-				for _, id := range batch {
-					ref, err := cs.ref(id)
-					if err != nil {
-						continue
-					}
-					ref.cohort.slots.prefetchOne(ref.member.local)
-				}
-			}
-		}()
-	})
+	cs.prefetchOnce.Do(cs.startPrefetcher)
 	batch := append([]int(nil), ids...)
 	select {
-	case cs.prefetchCh <- batch:
+	case cs.prefetchCh <- prefetchBatch{ids: batch}:
 		cs.counters.prefetchIssued.Add(int64(len(batch)))
 	default:
 	}
+}
+
+// prefetchBatch is one unit of prefetcher work: device ids to warm, or —
+// when done is non-nil — a quiesce barrier the prefetcher closes once
+// every batch enqueued before it has been fully processed.
+type prefetchBatch struct {
+	ids  []int
+	done chan struct{}
+}
+
+func (cs *cohortSet) startPrefetcher() {
+	cs.prefetchCh = make(chan prefetchBatch, 64)
+	cs.prefetchWG.Add(1)
+	go func() {
+		defer cs.prefetchWG.Done()
+		for batch := range cs.prefetchCh {
+			for _, id := range batch.ids {
+				ref, err := cs.ref(id)
+				if err != nil {
+					continue
+				}
+				ref.cohort.slots.prefetchOne(ref.member.local)
+			}
+			if batch.done != nil {
+				close(batch.done)
+			}
+		}
+	}()
+}
+
+// quiescePrefetch blocks until every prefetch hint issued before the call
+// has been fully processed. Round-boundary accounting snapshots need this:
+// a hint drained after the snapshot would add spill reads to the
+// cumulative counters that no round's delta ever reports, so per-round
+// sums would stop adding up to the totals.
+func (cs *cohortSet) quiescePrefetch() {
+	if !cs.tiered {
+		return
+	}
+	// Starting the prefetcher (if it never ran) keeps this race-free: the
+	// channel exists exactly when the goroutine does, and close() already
+	// handles an idle prefetcher uniformly.
+	cs.prefetchOnce.Do(cs.startPrefetcher)
+	done := make(chan struct{})
+	cs.prefetchCh <- prefetchBatch{done: done}
+	<-done
 }
 
 // close stops the prefetcher and releases every spill file. Idempotent.

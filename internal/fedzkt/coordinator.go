@@ -2,6 +2,7 @@ package fedzkt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/codec"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
@@ -171,6 +173,24 @@ type Config struct {
 	// EvalEvery evaluates models every EvalEvery rounds (default 1);
 	// the final round is always evaluated.
 	EvalEvery int
+	// CheckpointDir, when set, enables durable checkpoints: after every
+	// CheckpointEvery-th finalised round the coordinator writes an atomic
+	// (temp + fsync + rename), CRC-trailed checkpoint file into the
+	// directory, keeping the KeepCheckpoints most recent. A crashed run
+	// restarted with Resume picks up from the latest intact file.
+	CheckpointDir string
+	// CheckpointEvery is the round cadence of durable checkpoints
+	// (default 1 — every finalised round; the final round is always
+	// checkpointed).
+	CheckpointEvery int
+	// KeepCheckpoints bounds how many checkpoint files CheckpointDir
+	// retains (default 3). Older files are the rollback targets when the
+	// newest is torn or corrupt.
+	KeepCheckpoints int
+	// Resume makes Run first load the latest intact checkpoint from
+	// CheckpointDir (rolling back over corrupt files) and continue from
+	// its round cursor. With no checkpoint present the run starts fresh.
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +235,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvalEvery == 0 {
 		c.EvalEvery = 1
+	}
+	if c.CheckpointDir != "" {
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 1
+		}
+		if c.KeepCheckpoints == 0 {
+			c.KeepCheckpoints = 3
+		}
 	}
 	return c
 }
@@ -289,6 +317,12 @@ type Coordinator struct {
 	// fresh coordinator, advanced past every finalised round by Run, and
 	// restored by LoadCheckpoint, so a cancelled run can be resumed.
 	nextRound int
+	// hist accumulates every finalised round's metrics across Run calls
+	// (and across checkpoint save/load), so History covers the whole
+	// federation even when the process crashed and resumed mid-way.
+	hist fed.History
+	// resumed marks that Run already performed its Config.Resume load.
+	resumed bool
 
 	// Virtual-device mode (Config.VirtualDevices): device models exist
 	// only while their local phase or evaluation runs; between rounds a
@@ -603,6 +637,12 @@ func (c *Coordinator) Sampler() sched.Sampler { return c.sampler }
 // distillation iterations — and returns the wrapped context error
 // alongside the history of fully finalised rounds.
 func (c *Coordinator) Run(ctx context.Context) (fed.History, error) {
+	if c.cfg.Resume && !c.resumed {
+		c.resumed = true
+		if err := c.resumeFromDir(); err != nil {
+			return nil, err
+		}
+	}
 	if c.nextRound > 1 && c.nextRound <= c.cfg.Rounds {
 		// Resuming mid-federation: a cancelled run may have left devices
 		// ahead of the last finalised round (several rounds ahead under
@@ -683,6 +723,9 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		if err := ctx.Err(); err != nil {
 			return hist, fmt.Errorf("fedzkt: run cancelled at round %d: %w", round, err)
 		}
+		// Chaos crash point: a process death before the round does any
+		// work — the recovery baseline (resume re-runs this round).
+		chaos.Crash(chaos.SiteCrashRoundStart)
 		start := time.Now()
 		m := fed.RoundMetrics{Round: round}
 		roundSpan := tracer().Begin("fed", "round").WithRound(round)
@@ -757,7 +800,15 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 		roundSpan.End()
 		c.metrics.observeRound(&m)
 		hist = append(hist, m)
+		c.hist = append(c.hist, m)
 		c.nextRound = round + 1
+		if err := c.maybeCheckpoint(round); err != nil {
+			return hist, err
+		}
+		// Chaos crash point: a process death at the finalised round
+		// boundary, after the durable checkpoint — the resume from here
+		// must replay the rest of the run bit-exactly.
+		chaos.Crash(chaos.SiteCrashRoundEnd)
 	}
 	return hist, nil
 }
@@ -768,6 +819,10 @@ func (c *Coordinator) runSync(ctx context.Context) (fed.History, error) {
 // fingerprinted — store traffic depends on hot-set sizing and prefetch
 // timing, which the arithmetic is independent of by construction.
 func (c *Coordinator) finishRoundStats(m *fed.RoundMetrics) {
+	// Drain in-flight prefetch hints first: a hint processed after this
+	// snapshot would add reads to the cumulative counters that no round's
+	// delta reports, and the per-round sums would drift from the totals.
+	c.server.cohorts.quiescePrefetch()
 	st := c.server.ReplicaStoreStats()
 	d := st.Sub(c.prevStore)
 	c.prevStore = st
@@ -944,6 +999,16 @@ func (c *Coordinator) localPhase(ctx context.Context, round int, active []int, m
 		case sched.StatusInjected:
 			m.Injected = append(m.Injected, r.Device)
 		case sched.StatusFailed:
+			// A panicking device task (chaos-injected or a genuine bug in
+			// one device's arithmetic) is a per-device fault, not a
+			// process death: drop the device from this round's aggregation
+			// and record the fault alongside the corrupt-replica faults.
+			var pe *sched.PanicError
+			if errors.As(r.Err, &pe) {
+				m.Dropped = append(m.Dropped, r.Device)
+				c.server.cohorts.noteFault(r.Device, r.Err)
+				continue
+			}
 			return nil, nil, fmt.Errorf("fedzkt: local phase device %d: %w", r.Device, r.Err)
 		}
 	}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/fed"
 )
 
@@ -148,6 +149,21 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 			m.Elapsed = time.Since(ub.start)
 			c.metrics.observeRound(&m)
 			hist = append(hist, m)
+			// Finalise the round for the durability layer: the cumulative
+			// history and round cursor advance here (the server stage owns
+			// both while running; the post-done assignment below agrees),
+			// so a mid-run durable checkpoint snapshots a consistent
+			// boundary. A pipelined resume is consistent but not a
+			// bit-exact replay: devices ahead of the cursor are reconciled
+			// back to their replicas on resume (see Run).
+			c.hist = append(c.hist, m)
+			c.nextRound = ub.round + 1
+			if err := c.maybeCheckpoint(ub.round); err != nil {
+				serverErr = err
+				cancel()
+				return
+			}
+			chaos.Crash(chaos.SiteCrashRoundEnd)
 			// The local stage drains this channel until it is closed, so
 			// the send cannot block indefinitely.
 			downloads <- db
@@ -163,6 +179,7 @@ func (c *Coordinator) runPipelined(ctx context.Context) (fed.History, error) {
 		pipeBroken bool
 	)
 	for round := startRound; round <= cfg.Rounds; round++ {
+		chaos.Crash(chaos.SiteCrashRoundStart)
 		m := fed.RoundMetrics{Round: round}
 
 		// Bounded-staleness barrier: this round may only train on the

@@ -6,6 +6,7 @@
 package optim
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/fedzkt/fedzkt/internal/ag"
@@ -182,4 +183,135 @@ func (m *MultiStepLR) Tick() {
 			m.opt.SetLR(m.opt.LR() * m.gamma)
 		}
 	}
+}
+
+// Step returns how many Ticks the schedule has taken.
+func (m *MultiStepLR) Step() int { return m.step }
+
+// SetStep restores the schedule's step counter (checkpoint resume). It
+// does not replay decays — the decayed learning rate lives in the wrapped
+// optimiser's captured state — it only re-arms the remaining milestones.
+func (m *MultiStepLR) SetStep(step int) { m.step = step }
+
+// State is a serialisable snapshot of an optimiser's cross-step state:
+// the current learning rate (schedules may have decayed it), the step
+// counter (Adam's bias correction), and the moment buffers. A nil slot
+// means that buffer was never allocated (the parameter has not been
+// stepped yet), which round-trips exactly. The layout of Slots is
+// optimiser-specific; Load validates it against the parameter list.
+type State struct {
+	LR    float64
+	Step  int
+	Slots [][]float64
+}
+
+// cloneSlot copies one moment tensor out as a plain slice (nil in, nil out).
+func cloneSlot(t *tensor.Tensor) []float64 {
+	if t == nil {
+		return nil
+	}
+	return append([]float64(nil), t.Data()...)
+}
+
+// restoreSlot rebuilds one moment tensor shaped like the parameter it
+// tracks, or nil for a never-allocated buffer.
+func restoreSlot(p *ag.Variable, data []float64, what string) (*tensor.Tensor, error) {
+	if data == nil {
+		return nil, nil
+	}
+	w := p.Value()
+	if len(data) != w.Len() {
+		return nil, fmt.Errorf("optim: %s buffer has %d values, parameter has %d", what, len(data), w.Len())
+	}
+	t := tensor.New(w.Shape()...)
+	copy(t.Data(), data)
+	return t, nil
+}
+
+// CaptureState snapshots the SGD optimiser's learning rate and momentum
+// velocity buffers. Slots holds one entry per parameter (empty when
+// momentum is off or Step has never run).
+func (s *SGD) CaptureState() State {
+	st := State{LR: s.lr}
+	if s.velocity != nil {
+		st.Slots = make([][]float64, len(s.velocity))
+		for i, v := range s.velocity {
+			st.Slots[i] = cloneSlot(v)
+		}
+	}
+	return st
+}
+
+// LoadState restores a snapshot taken by CaptureState onto this
+// optimiser's parameters. All-or-nothing: on error the optimiser is
+// unchanged.
+func (s *SGD) LoadState(st State) error {
+	if len(st.Slots) != 0 && len(st.Slots) != len(s.params) {
+		return fmt.Errorf("optim: sgd state has %d velocity buffers, optimiser has %d parameters", len(st.Slots), len(s.params))
+	}
+	var vel []*tensor.Tensor
+	if len(st.Slots) != 0 {
+		vel = make([]*tensor.Tensor, len(s.params))
+		for i, slot := range st.Slots {
+			t, err := restoreSlot(s.params[i], slot, "sgd velocity")
+			if err != nil {
+				return err
+			}
+			vel[i] = t
+		}
+	}
+	s.lr = st.LR
+	s.velocity = vel
+	return nil
+}
+
+// CaptureState snapshots the Adam optimiser's learning rate, step count
+// and first/second moment buffers. Slots holds the m buffers for every
+// parameter followed by the v buffers (2·len(params) entries, or none
+// when Step has never run).
+func (a *Adam) CaptureState() State {
+	st := State{LR: a.lr, Step: a.step}
+	if a.m != nil {
+		st.Slots = make([][]float64, 0, 2*len(a.params))
+		for _, t := range a.m {
+			st.Slots = append(st.Slots, cloneSlot(t))
+		}
+		for _, t := range a.v {
+			st.Slots = append(st.Slots, cloneSlot(t))
+		}
+	}
+	return st
+}
+
+// LoadState restores a snapshot taken by CaptureState onto this
+// optimiser's parameters. All-or-nothing: on error the optimiser is
+// unchanged.
+func (a *Adam) LoadState(st State) error {
+	if len(st.Slots) != 0 && len(st.Slots) != 2*len(a.params) {
+		return fmt.Errorf("optim: adam state has %d moment buffers, optimiser needs %d", len(st.Slots), 2*len(a.params))
+	}
+	var m, v []*tensor.Tensor
+	if len(st.Slots) != 0 {
+		m = make([]*tensor.Tensor, len(a.params))
+		v = make([]*tensor.Tensor, len(a.params))
+		for i := range a.params {
+			mt, err := restoreSlot(a.params[i], st.Slots[i], "adam m")
+			if err != nil {
+				return err
+			}
+			vt, err := restoreSlot(a.params[i], st.Slots[len(a.params)+i], "adam v")
+			if err != nil {
+				return err
+			}
+			if (mt == nil) != (vt == nil) {
+				return fmt.Errorf("optim: adam parameter %d has mismatched m/v allocation", i)
+			}
+			m[i], v[i] = mt, vt
+		}
+	}
+	a.lr = st.LR
+	a.step = st.Step
+	a.m = m
+	a.v = v
+	return nil
 }

@@ -116,3 +116,109 @@ func TestPaperSchedule(t *testing.T) {
 		}
 	}
 }
+
+// TestStateRoundTripBitExact: capturing an optimiser's state mid-run,
+// restoring it onto a fresh optimiser over a copy of the parameters, and
+// continuing must produce bit-identical trajectories — the property the
+// checkpoint layer's resume guarantee rests on.
+func TestStateRoundTripBitExact(t *testing.T) {
+	target := tensor.FromSlice([]float64{1, -2, 3, 0.5}, 4)
+	stepN := func(w *ag.Variable, opt Optimizer, sched *MultiStepLR, n int) {
+		for i := 0; i < n; i++ {
+			opt.ZeroGrad()
+			ag.Backward(quadLoss(w, target))
+			opt.Step()
+			sched.Tick()
+		}
+	}
+
+	t.Run("sgd+schedule", func(t *testing.T) {
+		// Reference: 10 uninterrupted steps with momentum and a decay at 7.
+		wRef := ag.Param(tensor.Full(5, 4))
+		optRef := NewSGD([]*ag.Variable{wRef}, 0.1, 0.9, 1e-4)
+		schedRef := NewMultiStepLR(optRef, []int{3, 7}, 0.3)
+		stepN(wRef, optRef, schedRef, 10)
+
+		// Interrupted: 5 steps, capture, restore into a fresh optimiser
+		// over copied weights, 5 more.
+		w1 := ag.Param(tensor.Full(5, 4))
+		opt1 := NewSGD([]*ag.Variable{w1}, 0.1, 0.9, 1e-4)
+		sched1 := NewMultiStepLR(opt1, []int{3, 7}, 0.3)
+		stepN(w1, opt1, sched1, 5)
+		st := opt1.CaptureState()
+
+		w2 := ag.Param(w1.Value().Clone())
+		opt2 := NewSGD([]*ag.Variable{w2}, 0.1, 0.9, 1e-4)
+		sched2 := NewMultiStepLR(opt2, []int{3, 7}, 0.3)
+		if err := opt2.LoadState(st); err != nil {
+			t.Fatal(err)
+		}
+		sched2.SetStep(sched1.Step())
+		stepN(w2, opt2, sched2, 5)
+
+		if d := tensor.MaxAbsDiff(wRef.Value(), w2.Value()); d != 0 {
+			t.Fatalf("resumed SGD diverged from uninterrupted run: max|Δ|=%g", d)
+		}
+	})
+
+	t.Run("adam", func(t *testing.T) {
+		wRef := ag.Param(tensor.Full(-3, 4))
+		optRef := NewAdam([]*ag.Variable{wRef}, 0.05)
+		for i := 0; i < 10; i++ {
+			optRef.ZeroGrad()
+			ag.Backward(quadLoss(wRef, target))
+			optRef.Step()
+		}
+
+		w1 := ag.Param(tensor.Full(-3, 4))
+		opt1 := NewAdam([]*ag.Variable{w1}, 0.05)
+		for i := 0; i < 5; i++ {
+			opt1.ZeroGrad()
+			ag.Backward(quadLoss(w1, target))
+			opt1.Step()
+		}
+		st := opt1.CaptureState()
+		if st.Step != 5 {
+			t.Fatalf("captured step %d, want 5", st.Step)
+		}
+
+		w2 := ag.Param(w1.Value().Clone())
+		opt2 := NewAdam([]*ag.Variable{w2}, 0.05)
+		if err := opt2.LoadState(st); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			opt2.ZeroGrad()
+			ag.Backward(quadLoss(w2, target))
+			opt2.Step()
+		}
+		if d := tensor.MaxAbsDiff(wRef.Value(), w2.Value()); d != 0 {
+			t.Fatalf("resumed Adam diverged from uninterrupted run: max|Δ|=%g", d)
+		}
+	})
+
+	t.Run("fresh state round-trips", func(t *testing.T) {
+		w := ag.Param(tensor.Full(1, 2))
+		opt := NewSGD([]*ag.Variable{w}, 0.1, 0.9, 0)
+		st := opt.CaptureState()
+		if len(st.Slots) != 0 {
+			t.Fatal("unstepped optimiser captured velocity buffers")
+		}
+		if err := opt.LoadState(st); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("rejects wrong shapes", func(t *testing.T) {
+		w := ag.Param(tensor.Full(1, 2))
+		opt := NewSGD([]*ag.Variable{w}, 0.1, 0.9, 0)
+		bad := State{LR: 0.1, Slots: [][]float64{{1, 2, 3}}}
+		if err := opt.LoadState(bad); err == nil {
+			t.Fatal("want error for mis-sized velocity buffer")
+		}
+		adam := NewAdam([]*ag.Variable{w}, 0.1)
+		if err := adam.LoadState(State{LR: 0.1, Slots: [][]float64{{1, 2}}}); err == nil {
+			t.Fatal("want error for wrong slot count")
+		}
+	})
+}

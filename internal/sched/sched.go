@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/obs"
 )
 
@@ -74,6 +76,21 @@ func (s Status) String() string {
 // ErrInjected marks results whose device was taken down by failure
 // injection.
 var ErrInjected = errors.New("sched: injected device failure")
+
+// PanicError records a panic recovered inside a device task. Workers
+// recover panics into a StatusFailed result carrying one of these, so a
+// single device's bug (or a chaos-injected worker panic) degrades that
+// device instead of killing the whole federation; the captured stack
+// preserves the debugging signal a crash would have printed.
+type PanicError struct {
+	Device int
+	Value  any    // the recovered panic value
+	Stack  []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: device %d task panicked: %v", e.Device, e.Value)
+}
 
 // Result records one task's outcome.
 type Result struct {
@@ -344,7 +361,11 @@ func dealQueues(tasks []Task, pending []int, workers int) [][]int {
 }
 
 // runOne executes a single task under the round context and classifies
-// the outcome.
+// the outcome. A panicking task — its own bug, or the chaos
+// sched.worker.panic failpoint — is recovered into a StatusFailed result
+// carrying a *PanicError rather than unwinding the worker goroutine and
+// killing the process: the scheduler's contract is that one device's
+// fault costs that device, never the federation.
 func runOne(ctx context.Context, t Task, deadlineAt time.Time) Result {
 	if err := ctx.Err(); err != nil {
 		// Deadline already passed (or round cancelled) before the task
@@ -352,7 +373,17 @@ func runOne(ctx context.Context, t Task, deadlineAt time.Time) Result {
 		return Result{Device: t.Device, Status: StatusDropped, Err: err}
 	}
 	start := time.Now()
-	err := t.Run(ctx)
+	err := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Device: t.Device, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if chaos.Fire(chaos.SiteWorkerPanic) {
+			panic(fmt.Sprintf("chaos: injected worker panic (device %d)", t.Device))
+		}
+		return t.Run(ctx)
+	}()
 	elapsed := time.Since(start)
 	late := !deadlineAt.IsZero() && time.Now().After(deadlineAt)
 	switch {

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/fedzkt/fedzkt/internal/chaos"
 )
 
 // countingTasks builds n no-op tasks whose Run records the execution
@@ -387,5 +390,65 @@ func TestTaskInternalContextErrorIsFailedWhileRoundLive(t *testing.T) {
 	})
 	if res[0].Status != StatusFailed || !errors.Is(res[0].Err, context.DeadlineExceeded) {
 		t.Fatalf("internal timeout while round live: %+v", res[0])
+	}
+}
+
+func TestPanicRecoveredAsFailure(t *testing.T) {
+	// A panicking task must cost its own device a StatusFailed result
+	// carrying a *PanicError with the stack — never the process.
+	p, err := NewPool(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.RunRound(context.Background(), 1, []Task{
+		{Device: 0, Run: func(context.Context) error { return nil }},
+		{Device: 1, Run: func(context.Context) error { panic("device 1 bug") }},
+		{Device: 2, Run: func(context.Context) error { return nil }},
+	})
+	if res[0].Status != StatusCompleted || res[2].Status != StatusCompleted {
+		t.Fatalf("healthy devices affected: %+v", res)
+	}
+	if res[1].Status != StatusFailed {
+		t.Fatalf("panicked device status = %v, want failed", res[1].Status)
+	}
+	var pe *PanicError
+	if !errors.As(res[1].Err, &pe) || pe.Device != 1 || len(pe.Stack) == 0 {
+		t.Fatalf("want *PanicError with device and stack, got %v", res[1].Err)
+	}
+	if !strings.Contains(pe.Error(), "device 1 bug") {
+		t.Fatalf("panic value lost: %v", pe)
+	}
+}
+
+func TestChaosWorkerPanic(t *testing.T) {
+	// The sched.worker.panic failpoint injects a panic into the Nth task
+	// execution; recovery turns it into exactly one failed device.
+	plan, err := chaos.Parse("sched.worker.panic=on:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Activate(plan)
+	defer chaos.Deactivate()
+	p, err := NewPool(Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Device: i, Run: func(context.Context) error { return nil }}
+	}
+	res := p.RunRound(context.Background(), 1, tasks)
+	failed := 0
+	for _, r := range res {
+		if r.Status == StatusFailed {
+			failed++
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("chaos panic not recovered as PanicError: %v", r.Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d devices failed, want exactly 1 (the on:2 hit)", failed)
 	}
 }

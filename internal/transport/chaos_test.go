@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/fed"
 	"github.com/fedzkt/fedzkt/internal/fedzkt"
@@ -702,5 +703,69 @@ func TestShardsForRegimes(t *testing.T) {
 		if _, err := shardsFor(ds, k, bad, 7); err == nil {
 			t.Errorf("regime %q: want error", bad)
 		}
+	}
+}
+
+// TestChaosFailpointDropAndStall drives a mini federation with the
+// internal/chaos failpoints armed: transport.conn.drop severs one
+// attached connection early in round 1 (whichever session's I/O draws
+// the hit) and transport.conn.stall delays periodic reads. Because
+// drops fire only on attached connections (never during a handshake),
+// the severed device holds its resume token and must reconnect and
+// finish the run; the server's history must be complete.
+func TestChaosFailpointDropAndStall(t *testing.T) {
+	const (
+		devices = 4
+		rounds  = 2
+		quorum  = 3
+	)
+	plan, err := chaos.Parse("seed=11;transport.conn.drop=on:10;transport.conn.stall@2=every:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Activate(plan)
+	t.Cleanup(chaos.Deactivate)
+
+	srv, err := NewServer(chaosServerConfig(devices, rounds, quorum, 1, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, devices)
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = RunDevice(ctx, DeviceConfig{
+				Addr: srv.Addr(), Arch: "mlp", IOTimeout: 20 * time.Second,
+				Reconnect: true, ReconnectBase: 50 * time.Millisecond,
+			})
+		}(i)
+	}
+	hist, err := srv.Run(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(hist) != rounds {
+		t.Fatalf("history length %d, want %d", len(hist), rounds)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Errorf("device %d: %v", i, e)
+		}
+	}
+	if got := plan.Fired(chaos.SiteConnDrop); got != 1 {
+		t.Errorf("conn.drop fired %d times, want exactly 1 (on:10)", got)
+	}
+	resumes := 0
+	for _, st := range srv.SessionStats() {
+		resumes += st.Resumes
+	}
+	if resumes < 1 {
+		t.Error("no session resumed after the injected drop")
 	}
 }

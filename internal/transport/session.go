@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fedzkt/fedzkt/internal/chaos"
 	"github.com/fedzkt/fedzkt/internal/data"
 	"github.com/fedzkt/fedzkt/internal/partition"
 	"github.com/fedzkt/fedzkt/internal/tensor"
@@ -76,6 +77,36 @@ func (c *meteredConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// chaosConn arms the transport failpoints on an attached connection:
+// transport.conn.drop severs it mid-read or mid-write — the session
+// layer's resume tokens are what recovers the device — and
+// transport.conn.stall delays a read like a network hiccup would.
+// Handshake connections are deliberately not wrapped: a drop before a
+// device holds its resume token would abort registration, not exercise
+// recovery.
+type chaosConn struct {
+	net.Conn
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	if d := chaos.StallFor(chaos.SiteConnStall); d > 0 {
+		time.Sleep(d)
+	}
+	if chaos.Fire(chaos.SiteConnDrop) {
+		_ = c.Conn.Close()
+		return 0, &chaos.InjectedError{Site: chaos.SiteConnDrop, Op: "conn read"}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	if chaos.Fire(chaos.SiteConnDrop) {
+		_ = c.Conn.Close()
+		return 0, &chaos.InjectedError{Site: chaos.SiteConnDrop, Op: "conn write"}
+	}
+	return c.Conn.Write(p)
+}
+
 // newResumeKey draws the per-run HMAC key for resume tokens.
 func newResumeKey() ([]byte, error) {
 	key := make([]byte, 32)
@@ -134,7 +165,7 @@ type session struct {
 // attach notification, every message the reader produces, and the detach
 // notification when the connection dies. ioTimeout bounds each write.
 func (s *session) attach(conn net.Conn, pendingRound int, events chan<- inbound, ioTimeout time.Duration) {
-	mc := &meteredConn{Conn: conn, m: &s.meter}
+	mc := &chaosConn{Conn: &meteredConn{Conn: conn, m: &s.meter}}
 	cs := &connState{
 		conn:   conn,
 		outbox: make(chan *Message, 16),

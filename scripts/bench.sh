@@ -3,7 +3,7 @@
 # summary so the performance trajectory is tracked from PR 5 on.
 #
 # Usage:
-#   ./scripts/bench.sh              # writes BENCH_9.json in the repo root
+#   ./scripts/bench.sh              # writes BENCH_10.json in the repo root
 #   ./scripts/bench.sh out.json     # explicit output path
 #   BENCHTIME=3x ./scripts/bench.sh # cheaper run (default 8x)
 #   BENCHCOUNT=1 ./scripts/bench.sh # single sample per benchmark (default 3)
@@ -30,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 BENCHTIME="${BENCHTIME:-8x}"
 PATTERN='BenchmarkServerDistill100FullEnsemble$|BenchmarkServerDistill100FullEnsembleSerial|BenchmarkServerDistill100FullEnsembleFast|BenchmarkServerDistill100Teachers8$|BenchmarkServerDistill100Teachers8Fast|BenchmarkServerDistill100Teachers8NoObs|BenchmarkLocalStepArena$|BenchmarkLocalStepArenaNoObs|BenchmarkLocalStepNoArena|BenchmarkMatMul128$|BenchmarkMatMul128Fast|BenchmarkConv2dForwardBackward|BenchmarkGeneratorForward|BenchmarkGlobalModelForward|BenchmarkCohortCheckoutMemory|BenchmarkCohortCheckoutSpill'
 
@@ -80,7 +80,7 @@ awk -v benchtime="$BENCHTIME" -v benchcount="$BENCHCOUNT" -v gover="$(go version
 END {
 	printf "{\n"
 	printf "  \"schema\": \"fedzkt-bench/1\",\n"
-	printf "  \"pr\": 9,\n"
+	printf "  \"pr\": 10,\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"git\": \"%s\",\n", rev
 	printf "  \"go\": \"%s\",\n", gover

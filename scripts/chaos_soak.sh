@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# chaos_soak.sh — crash-recovery soak for the durable checkpoint layer.
+#
+# Drill: run a deterministic federation (sync engine, full participation)
+# to completion and record its history-fingerprint digest; run the same
+# federation with a seeded chaos plan that kills the process at a crash
+# point mid-federation (exit code 7, after the round's durable checkpoint
+# lands); restart it with -resume and chaos disarmed (a restarted process
+# has zeroed failpoint hit counters, so re-arming would re-crash the same
+# round); require the resumed run's whole-history digest to be
+# byte-identical to the uninterrupted run's.
+#
+# A second pass tears the final checkpoint write instead (published
+# without fsync, cut short), then proves resume rolls back to the last
+# intact file and still converges on the same digest.
+#
+# Usage:
+#   ./scripts/chaos_soak.sh             # pinned defaults (SEED=11, CHAOS_SEED=9)
+#   SEED=3 ./scripts/chaos_soak.sh      # different trajectory, same invariants
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-11}"
+CHAOS_SEED="${CHAOS_SEED:-9}"
+ROUNDS="${ROUNDS:-4}"
+CRASH_EXIT=7
+
+# Full participation keeps the resumed trajectory byte-identical: every
+# device completes every round, so the checkpoint boundary captures the
+# entire federation state (see README "Crash recovery & chaos").
+RUN_FLAGS=(-devices 8 -sample-k 8 -fail-rate 0 -teachers-per-iter 0
+    -rounds "$ROUNDS" -seed "$SEED")
+
+BIN="$(mktemp -d)/scale"
+CKPT="$(mktemp -d)"
+trap 'rm -rf "$(dirname "$BIN")" "$CKPT"' EXIT
+# go run would mask the child's exit code; the soak needs the real 7.
+go build -o "$BIN" ./examples/scale
+
+fingerprint() { grep '^history fingerprint:' | awk '{print $3}'; }
+
+echo "== baseline: uninterrupted run"
+BASE=$("$BIN" "${RUN_FLAGS[@]}" | fingerprint)
+echo "baseline fingerprint: $BASE"
+
+echo "== crash drill: seeded crash point after round 2's checkpoint"
+rm -rf "$CKPT"/*
+set +e
+"$BIN" "${RUN_FLAGS[@]}" -checkpoint-dir "$CKPT" \
+    -chaos "seed=$CHAOS_SEED;crash.round.end=on:2"
+CODE=$?
+set -e
+if [ "$CODE" -ne "$CRASH_EXIT" ]; then
+    echo "FAIL: crash run exited $CODE, want $CRASH_EXIT" >&2
+    exit 1
+fi
+ls "$CKPT" | sed 's/^/  checkpoint: /'
+
+echo "== resume: fresh process, chaos disarmed"
+RESUMED=$("$BIN" "${RUN_FLAGS[@]}" -checkpoint-dir "$CKPT" -resume | fingerprint)
+echo "resumed fingerprint:  $RESUMED"
+if [ "$RESUMED" != "$BASE" ]; then
+    echo "FAIL: crash-resumed run diverged from the uninterrupted run" >&2
+    exit 1
+fi
+
+echo "== torn-write drill: final checkpoint write cut short, resume rolls back"
+rm -rf "$CKPT"/*
+"$BIN" "${RUN_FLAGS[@]}" -checkpoint-dir "$CKPT" \
+    -chaos "seed=$CHAOS_SEED;ckpt.write.torn@16=on:$ROUNDS" >/dev/null
+ROLLED=$("$BIN" "${RUN_FLAGS[@]}" -checkpoint-dir "$CKPT" -resume | fingerprint)
+echo "rolled-back fingerprint: $ROLLED"
+if [ "$ROLLED" != "$BASE" ]; then
+    echo "FAIL: rolled-back resume diverged from the uninterrupted run" >&2
+    exit 1
+fi
+
+echo "PASS: crash-resume and torn-write rollback both byte-identical to the uninterrupted run"
